@@ -1,0 +1,40 @@
+"""Shared helpers for the experiment benchmarks (E1-E13).
+
+Every benchmark both *measures* (pytest-benchmark) and *asserts* the
+reproduced result, and prints the paper-style rows so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the numbers
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: The exact example from paper section 4.2.
+PAPER_EXAMPLE = """<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>"""
+
+
+@pytest.fixture
+def paper_example() -> str:
+    return PAPER_EXAMPLE
+
+
+def print_table(title: str, rows: list[tuple], headers: tuple) -> None:
+    """Render one experiment's result table to stdout."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,100 @@
+"""E11 -- checking against different HTML versions (section 5.5).
+
+Paper claim: "By default Weblint will check against HTML 4.0 ... Other
+modules define the non-standard extensions supported by Microsoft
+(Internet Explorer) and Netscape (Navigator) ... for third parties to
+provide their own definitions."
+
+Reproduction: one mixed-vintage document checked under html32, html40,
+html40-strict, netscape and microsoft gives exactly the
+version-appropriate verdicts (SPAN unknown in 3.2, BLINK
+Netscape-specific in 4.0 but fine under netscape, CENTER rejected by
+strict, euro entity 4.0-only ...).  The benchmark times the 5-spec
+battery.
+"""
+
+from __future__ import annotations
+
+from repro import Options, Weblint
+
+from conftest import print_table
+
+DOCUMENT = """<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">
+<html><head><title>mixed vintage</title></head><body>
+<center><p class="intro">10 &euro; <span>span text</span></p></center>
+<p><blink>navigator only</blink> <marquee>explorer only</marquee></p>
+<p><img src="x.gif" width="10" height="10"></p>
+</body></html>
+"""
+
+SPECS = ("html32", "html40", "html40-strict", "netscape", "microsoft")
+
+#: (feature, message id, specs where the message must fire)
+EXPECTATIONS = [
+    ("SPAN element", "unknown-element", {"html32"}),
+    ("CLASS attribute", "unknown-attribute", {"html32"}),
+    ("&euro; entity", "unknown-entity", {"html32"}),
+    ("BLINK element", "netscape-markup",
+     {"html32", "html40", "html40-strict", "microsoft"}),
+    ("MARQUEE element", "microsoft-markup",
+     {"html32", "html40", "html40-strict", "netscape"}),
+    ("IMG without ALT", "img-alt", set(SPECS)),
+]
+
+
+def _check_under(spec_name: str):
+    options = Options.with_defaults()
+    options.spec_name = spec_name
+    return Weblint(options=options).check_string(DOCUMENT)
+
+
+def _fires(diagnostics, message_id: str, needle: str) -> bool:
+    return any(
+        d.message_id == message_id and needle in d.text.upper()
+        for d in diagnostics
+    )
+
+
+#: needle looked for inside the message text, to attribute the message to
+#: the feature (several features can share a message id).
+NEEDLES = {
+    "SPAN element": "SPAN",
+    "CLASS attribute": "CLASS",
+    "&euro; entity": "EURO",
+    "BLINK element": "BLINK",
+    "MARQUEE element": "MARQUEE",
+    "IMG without ALT": "ALT",
+}
+
+
+def test_e11_html_versions(benchmark):
+    results = benchmark(lambda: {name: _check_under(name) for name in SPECS})
+
+    rows = []
+    for feature, message_id, expected_specs in EXPECTATIONS:
+        needle = NEEDLES[feature]
+        fired = {
+            name for name in SPECS
+            if _fires(results[name], message_id, needle)
+        }
+        rows.append(
+            (feature, message_id,
+             ",".join(sorted(fired)) or "(none)")
+        )
+        assert fired == expected_specs, (feature, fired, expected_specs)
+
+    ids_by_spec = {
+        name: {d.message_id for d in results[name]} for name in SPECS
+    }
+    # CENTER: legal in 3.2, deprecated in 4.0, absent from strict.
+    assert "deprecated-element" not in ids_by_spec["html32"]
+    assert "deprecated-element" in ids_by_spec["html40"]
+    assert _fires(results["html40-strict"], "unknown-element", "CENTER")
+    rows.append(("CENTER element", "deprecated/unknown",
+                 "html40:deprecated, strict:unknown, html32:fine"))
+
+    print_table(
+        "E11: one document under five HTML version definitions",
+        rows,
+        headers=("feature", "message", "fires under"),
+    )

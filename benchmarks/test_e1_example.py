@@ -1,0 +1,41 @@
+"""E1 -- the paper's worked example (section 4.2).
+
+Paper result: weblint -s on test.html prints exactly seven messages
+(DOCTYPE, unclosed TITLE, unquoted TEXT value, illegal BGCOLOR value,
+H1/H2 mismatch, odd quotes, B/A overlap).
+
+Reproduction: the same seven (line, message) pairs, plus the time to
+check the example document.
+"""
+
+from __future__ import annotations
+
+from repro import ShortReporter, Weblint
+
+from conftest import print_table
+
+EXPECTED = [
+    (1, "require-doctype"),
+    (4, "unclosed-element"),
+    (5, "attribute-format"),
+    (5, "quote-attribute-value"),
+    (6, "heading-mismatch"),
+    (7, "odd-quotes"),
+    (7, "overlapped-element"),
+]
+
+
+def test_e1_paper_example(benchmark, paper_example):
+    weblint = Weblint(reporter=ShortReporter())
+
+    diagnostics = benchmark(weblint.check_string, paper_example, "test.html")
+
+    got = [(d.line, d.message_id) for d in diagnostics]
+    assert got == EXPECTED
+
+    print_table(
+        "E1: paper section 4.2 example (weblint -s test.html)",
+        [(line, message_id, weblint.reporter.format(d))
+         for (line, message_id), d in zip(got, diagnostics)],
+        headers=("line", "message id", "output"),
+    )

@@ -1,0 +1,45 @@
+"""E2 -- the message-catalog statistics (section 4.3).
+
+Paper result: "Weblint 1.020 supports 50 different output messages, 42 of
+which are enabled by default", in three categories (errors, warnings,
+style comments).
+
+Reproduction: the heritage catalog carries exactly 50 messages with 42
+default-enabled; the weblint-2 catalog extends it.  The benchmark times
+building a fully-resolved default Options from the catalog.
+"""
+
+from __future__ import annotations
+
+from repro.config.options import Options
+from repro.core.messages import Category, catalog_statistics, heritage_messages
+
+from conftest import print_table
+
+
+def test_e2_catalog_statistics(benchmark):
+    options = benchmark(Options.with_defaults)
+
+    stats = catalog_statistics()
+    assert stats["heritage_total"] == 50
+    assert stats["heritage_default_enabled"] == 42
+    assert len(options.enabled) >= 42
+
+    per_category = {
+        category: sum(
+            1 for m in heritage_messages() if m.category is category
+        )
+        for category in Category
+    }
+    print_table(
+        "E2: message catalog (paper: 50 messages, 42 enabled by default)",
+        [
+            ("heritage messages (1.020)", stats["heritage_total"], 50),
+            ("enabled by default", stats["heritage_default_enabled"], 42),
+            ("errors", per_category[Category.ERROR], "-"),
+            ("warnings", per_category[Category.WARNING], "-"),
+            ("style comments", per_category[Category.STYLE], "-"),
+            ("total incl. weblint-2 additions", stats["total"], "-"),
+        ],
+        headers=("quantity", "measured", "paper"),
+    )

@@ -1,0 +1,72 @@
+"""E3 -- every check the paper names in section 4.3 fires on its trigger.
+
+Paper result (qualitative): the listed examples of errors (missing </A>,
+BLOCKQOUTE typo, TEXTAREA ROWS/COLS), warnings (single quotes, IMG
+WIDTH/HEIGHT, commented-out markup, LISTING deprecated) and style
+comments ("click here", physical markup) are all detected.
+
+Reproduction: one minimal trigger document per named check; the benchmark
+times checking the whole battery.
+"""
+
+from __future__ import annotations
+
+from repro import Options, Weblint
+
+from conftest import print_table
+
+
+def _doc(body: str) -> str:
+    return (
+        '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+        "<html><head><title>t</title></head><body>\n"
+        f"{body}\n</body></html>\n"
+    )
+
+
+# (paper wording, trigger document, expected message id)
+NAMED_CHECKS = [
+    ("missing close tag for <A>", _doc('<p><a href="x">text</p>'),
+     "unclosed-element"),
+    ("mis-typed element BLOCKQOUTE", _doc("<blockqoute>q</blockqoute>"),
+     "unknown-element"),
+    ("TEXTAREA without ROWS/COLS",
+     _doc('<form action="a"><textarea name="t">x</textarea></form>'),
+     "required-attribute"),
+    ("single-quoted attribute value", _doc("<p><a href='x'>y</a></p>"),
+     "attribute-delimiter"),
+    ("IMG without WIDTH/HEIGHT", _doc('<p><img src="x" alt="a"></p>'),
+     "img-size"),
+    ("commented-out markup", _doc("<p>x</p><!-- <b>y</b> -->"),
+     "markup-in-comment"),
+    ("deprecated LISTING element", _doc("<listing>x</listing>"),
+     "deprecated-element"),
+    ('"click here" anchor text', _doc('<p><a href="x">click here</a></p>'),
+     "here-anchor"),
+    ("physical markup <B>", _doc("<p><b>x</b></p>"), "physical-font"),
+]
+
+
+def test_e3_named_checks(benchmark):
+    options = Options.with_defaults()
+    options.enable("here-anchor", "physical-font")  # the style examples
+    weblint = Weblint(options=options)
+
+    def run_battery():
+        return [
+            {d.message_id for d in weblint.check_string(source)}
+            for (_name, source, _expected) in NAMED_CHECKS
+        ]
+
+    results = benchmark(run_battery)
+
+    rows = []
+    for (name, _source, expected), got in zip(NAMED_CHECKS, results):
+        detected = expected in got
+        rows.append((name, expected, "yes" if detected else "NO"))
+        assert detected, name
+    print_table(
+        "E3: paper section 4.3 named checks",
+        rows,
+        headers=("paper example", "message id", "detected"),
+    )

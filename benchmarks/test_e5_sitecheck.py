@@ -1,0 +1,88 @@
+"""E5 -- the -R whole-site check (section 4.5).
+
+Paper result (qualitative): -R recurses over a directory tree, "checking
+whether directories have index files, and reporting orphan pages (which
+are not referred to by any other page checked)".
+
+Reproduction: a generated 12-page site with one orphan, one broken
+relative link and one index-less subdirectory; the site checker finds
+exactly those.  The benchmark times the whole -R run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.site.sitecheck import SiteChecker
+from repro.workload import GeneratorConfig, PageGenerator
+
+from conftest import print_table
+
+
+@pytest.fixture
+def site_dir(tmp_path):
+    site = PageGenerator(seed=11).site(12)
+    for name, body in site.items():
+        (tmp_path / name).write_text(body)
+    (tmp_path / "images").mkdir()
+    for index in range(4):
+        (tmp_path / "images" / f"figure{index}.gif").write_text("GIF89a")
+    no_images = GeneratorConfig(images=0)
+    # one orphan
+    (tmp_path / "orphan.html").write_text(
+        PageGenerator(seed=99, config=no_images).page(
+            link_targets=("index.html",)
+        )
+    )
+    # one broken relative link
+    broken = site["page1.html"].replace(
+        "</body>", '<p><a href="gone.html">a missing page</a></p>\n</body>'
+    )
+    (tmp_path / "page1.html").write_text(broken)
+    # one directory without an index
+    sub = tmp_path / "notes"
+    sub.mkdir()
+    (sub / "memo.html").write_text(
+        PageGenerator(seed=98, config=no_images).page(
+            link_targets=("../index.html",)
+        )
+    )
+    # link the subdirectory page so it is not an orphan
+    index_text = (tmp_path / "index.html").read_text().replace(
+        "</ul>", '<li><a href="notes/memo.html">the memo</a></li>\n</ul>'
+    )
+    (tmp_path / "index.html").write_text(index_text)
+    return tmp_path
+
+
+def test_e5_site_check(benchmark, site_dir):
+    checker = SiteChecker()
+
+    report = benchmark(checker.check_directory, site_dir)
+
+    orphans = [
+        d.filename for d in report.all_diagnostics()
+        if d.message_id == "orphan-page"
+    ]
+    bad_links = [
+        d for d in report.all_diagnostics() if d.message_id == "bad-link"
+    ]
+    missing_indexes = [
+        d for d in report.site_diagnostics
+        if d.message_id == "directory-index"
+    ]
+
+    assert orphans == ["orphan.html"]
+    assert len(bad_links) == 1 and "gone.html" in bad_links[0].text
+    assert len(missing_indexes) == 1 and "notes" in missing_indexes[0].text
+
+    print_table(
+        "E5: -R site check (index files, orphans, local links)",
+        [
+            ("pages checked", len(report.pages)),
+            ("orphan pages", ", ".join(orphans)),
+            ("broken local links", bad_links[0].text),
+            ("directories without index", missing_indexes[0].text),
+        ],
+        headers=("analysis", "result"),
+    )

@@ -1,0 +1,60 @@
+"""E8 -- output formats (section 4.2).
+
+Paper result: the default "traditional lint style" format is
+``test.html(1): blah blah blah``; the -s switch selects the short format
+``line 1: ...`` shown in the worked example.
+
+Reproduction: both formats byte-for-byte on the example's first message,
+plus the verbose/HTML/JSON formats weblint 2's pluggable reporters add.
+The benchmark times formatting a realistic diagnostic batch.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import Weblint, get_reporter
+
+from conftest import print_table
+
+
+def test_e8_output_formats(benchmark, paper_example):
+    weblint = Weblint()
+    diagnostics = weblint.check_string(paper_example, "test.html")
+
+    reporters = {
+        name: get_reporter(name)
+        for name in ("lint", "short", "verbose", "html", "json")
+    }
+
+    def render_all():
+        return {
+            name: reporter.report(diagnostics)
+            for name, reporter in reporters.items()
+        }
+
+    outputs = benchmark(render_all)
+
+    lint_first = outputs["lint"].splitlines()[0]
+    short_first = outputs["short"].splitlines()[0]
+    assert lint_first == (
+        "test.html(1): first element was not DOCTYPE specification"
+    )
+    assert short_first == (
+        "line 1: first element was not DOCTYPE specification"
+    )
+    assert "require-doctype" in outputs["verbose"]
+    assert '<ul class="weblint-report">' in outputs["html"]
+    assert len(json.loads(outputs["json"])) == 7
+
+    print_table(
+        "E8: output formats (default lint style vs -s short style)",
+        [
+            ("lint (default)", lint_first),
+            ("short (-s)", short_first),
+            ("verbose", outputs["verbose"].splitlines()[0]),
+            ("html", outputs["html"].splitlines()[1].strip()[:60] + "..."),
+            ("json", "7 records"),
+        ],
+        headers=("format", "first message"),
+    )

@@ -1,0 +1,68 @@
+"""X1 (extension) -- the plugin framework of paper section 6.1.
+
+Paper (future plans): "Support for 'plugins' which are used to validate
+non-HTML content (e.g. to validate stylesheets)."  Implemented and
+measured here: the CSS plugin checks STYLE elements and style attributes;
+the script plugin checks SCRIPT bodies; all messages remain configurable
+through the normal enable/disable machinery.
+"""
+
+from __future__ import annotations
+
+from repro import Options, Weblint
+
+from conftest import print_table
+
+DOCUMENT = """<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">
+<html><head><title>plugin exercise</title>
+<style type="text/css">
+body { colour: red; background-color: neon }
+h1 { font-weight: bold; margin 0 }
+</style>
+<script type="text/javascript">
+function f() { return (1 + 2; }
+</script>
+</head><body>
+<p style="font-wieght: bold">styled text</p>
+</body></html>
+"""
+
+EXPECTED = {
+    "css-unknown-property": 2,   # colour, font-wieght
+    "css-unknown-color": 1,      # neon
+    "css-syntax": 1,             # "margin 0" has no colon
+    "script-syntax": 3,          # mismatched '}' + '(' and '{' never closed
+}
+
+
+def test_x1_content_plugins(benchmark):
+    weblint = Weblint()
+
+    diagnostics = benchmark(weblint.check_string, DOCUMENT)
+
+    counts = {message_id: 0 for message_id in EXPECTED}
+    for diagnostic in diagnostics:
+        if diagnostic.message_id in counts:
+            counts[diagnostic.message_id] += 1
+    rows = [
+        (message_id, EXPECTED[message_id], counts[message_id])
+        for message_id in sorted(EXPECTED)
+    ]
+    assert counts == EXPECTED, counts
+
+    # Configurability: plugin messages obey disable like any other.
+    options = Options.with_defaults()
+    options.disable("css-unknown-property", "script-syntax")
+    quiet = {
+        d.message_id
+        for d in Weblint(options=options).check_string(DOCUMENT)
+    }
+    assert "css-unknown-property" not in quiet
+    assert "script-syntax" not in quiet
+    rows.append(("plugin messages configurable", "yes", "yes"))
+
+    print_table(
+        "X1: stylesheet/script plugins (paper section 6.1 future work)",
+        rows,
+        headers=("message", "expected", "found"),
+    )

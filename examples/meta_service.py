@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A meta checking service, W3C-validator style (paper section 3.6).
+
+"Meta tools incorporate two or more of the categories described above,
+usually merging the results into a single report."  This example stands
+up the whole 1998 stack in-process:
+
+1. a virtual web hosting a small site (one page broken, one link dead),
+2. the meta checker combining weblint, strict SGML-style validation,
+   link validation and the WebTechs page weight,
+3. the weblint gateway served over a real TCP socket by the built-in
+   HTTP server -- then fetched with a raw HTTP client, end to end.
+
+Run:  python examples/meta_service.py
+"""
+
+from __future__ import annotations
+
+from repro.gateway.forms import percent_encode
+from repro.gateway.gateway import Gateway
+from repro.meta import MetaChecker
+from repro.www.client import UserAgent
+from repro.www.server import HTTPServer, http_get
+from repro.www.virtualweb import VirtualWeb
+
+BROKEN_PAGE = """<HTML>
+<HEAD>
+<TITLE>quarterly report</TITLE>
+</HEAD>
+<BODY>
+<H1>Results</H2>
+<P>Up and to the right. See <A HREF="details.html">the details</A>
+and <A HREF="vanished.html">last year's numbers</A>.
+<IMG SRC="chart.gif">
+</BODY>
+</HTML>"""
+
+
+def main() -> int:
+    web = VirtualWeb()
+    web.add_page("http://intranet/report.html", BROKEN_PAGE)
+    web.add_page("http://intranet/details.html",
+                 "<html><head><title>d</title></head>"
+                 "<body><p>details</p></body></html>")
+    agent = UserAgent(web)
+
+    # --- the merged report -------------------------------------------------
+    checker = MetaChecker(agent=agent)
+    report = checker.check_url("http://intranet/report.html")
+    for line in report.summary_lines():
+        print(line)
+    print(f"\ntotal problems across all tools: {report.total_problems()}")
+
+    # --- the same thing as a web service over real TCP ----------------------
+    gateway = Gateway(agent=agent)
+    with HTTPServer(web, gateway=gateway) as server:
+        url = (
+            f"{server.base_url}/weblint"
+            f"?url={percent_encode('http://intranet/report.html')}"
+        )
+        status, _headers, body = http_get(url)
+    print(f"\ngateway over TCP: HTTP {status}, "
+          f"{body.count('<li')} findings embedded in the report page")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's three-line embedding, in Python.
+
+Paper section 5.4::
+
+    use Weblint;
+    $weblint = Weblint->new();
+    $weblint->check_file($filename);
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Options, ShortReporter, Weblint
+
+# The exact broken page from paper section 4.2.
+TEST_HTML = """<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>"""
+
+
+def main() -> int:
+    # The three-line embedding:
+    weblint = Weblint()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "test.html"
+        path.write_text(TEST_HTML)
+        diagnostics = weblint.check_file(path)
+
+    # Traditional lint output: file(line): message
+    print("# default output format")
+    for diagnostic in diagnostics:
+        print(f"test.html({diagnostic.line}): {diagnostic.text}")
+
+    # The -s short format from the paper's example.
+    print("\n# weblint -s")
+    short = Weblint(reporter=ShortReporter())
+    short.report(short.check_string(TEST_HTML), stream=sys.stdout)
+
+    # Everything is configurable: turn whole categories on or off.
+    print("\n# errors only")
+    options = Options.with_defaults()
+    options.only("error")
+    errors_only = Weblint(options=options, reporter=ShortReporter())
+    errors_only.report(errors_only.check_string(TEST_HTML), stream=sys.stdout)
+
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""repro -- a Python reproduction of weblint (Bowers, USENIX 1998).
+
+Weblint is a lint-style checker for HTML: not a strict SGML validator,
+but a stack machine with an ad-hoc parser that gives helpful comments for
+humans.  The paper's three-line embedding example translates directly::
+
+    from repro import Weblint
+
+    weblint = Weblint()
+    for diagnostic in weblint.check_file("test.html"):
+        print(diagnostic)
+
+Sub-packages:
+
+==================  ======================================================
+``repro.core``      message catalog, stack-machine engine, rules, reporters
+``repro.html``      tokenizer and per-version HTML language tables
+``repro.config``    site/user/CLI configuration (``.weblintrc``)
+``repro.www``       in-memory web substrate (the LWP substitution)
+``repro.site``      the ``-R`` whole-site checker
+``repro.robot``     the *poacher* robot: crawl + lint + link validation
+``repro.gateway``   the CGI-style gateway producing HTML reports
+``repro.baselines`` htmlchek-, SP- and Tidy-style comparators
+``repro.workload``  page/corpus generators for tests and benchmarks
+``repro.testing``   the sample-corpus harness (``Weblint::Test``)
+==================  ======================================================
+"""
+
+from repro.config.options import Options
+from repro.core.diagnostics import Diagnostic
+from repro.core.linter import Weblint, WeblintError
+from repro.core.messages import CATALOG, Category, Message
+from repro.core.reporter import (
+    HTMLReporter,
+    JSONReporter,
+    LintReporter,
+    Reporter,
+    ShortReporter,
+    VerboseReporter,
+    get_reporter,
+)
+from repro.html.spec import HTMLSpec, available_specs, get_spec
+
+__version__ = "2.0.0a1"
+
+__all__ = [
+    "Weblint",
+    "WeblintError",
+    "Options",
+    "Diagnostic",
+    "Category",
+    "Message",
+    "CATALOG",
+    "Reporter",
+    "LintReporter",
+    "ShortReporter",
+    "VerboseReporter",
+    "HTMLReporter",
+    "JSONReporter",
+    "get_reporter",
+    "HTMLSpec",
+    "get_spec",
+    "available_specs",
+    "__version__",
+]

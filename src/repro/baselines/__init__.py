@@ -1,0 +1,22 @@
+"""Baseline checkers -- the related work of paper section 3, rebuilt.
+
+Used by the comparison experiments (E9, E13) and available as library
+APIs in their own right:
+
+- :mod:`repro.baselines.htmlchek` -- a stack-less, regex-per-line checker
+  in the style of htmlchek (section 3.3): fast and simple, but with no
+  recovery heuristics, so one mistake can cascade.
+- :mod:`repro.baselines.strict` -- a strict, DTD-driven content-model
+  validator standing in for SP/nsgmls (section 3.2): "the warning and
+  error messages are usually straight from the parser, and require a
+  grounding in SGML to understand."
+- :mod:`repro.baselines.tidylike` -- an identify-and-fix tool in the
+  style of HTML Tidy (sections 3.3/3.7), to contrast with weblint's
+  identify-only philosophy.
+"""
+
+from repro.baselines.htmlchek import HtmlchekChecker
+from repro.baselines.strict import StrictValidator
+from repro.baselines.tidylike import FixResult, TidyLikeFixer
+
+__all__ = ["HtmlchekChecker", "StrictValidator", "TidyLikeFixer", "FixResult"]

@@ -1,0 +1,153 @@
+"""htmlchek-style baseline: regex-per-line checking, no stack.
+
+Paper section 3.3: "Htmlchek is a perl script (also available in awk)
+which performs syntax checking similar to weblint."  The defining
+implementation property this baseline reproduces is *statelessness across
+structure*: tags are counted, not stacked, and lines are checked in
+isolation.  Consequences (all measured in experiment E9):
+
+- a single unclosed container yields one "count mismatch" message per
+  affected element *kind* at end of file, with no line information for
+  the culprit;
+- overlapping elements are invisible (the counts still balance);
+- an odd quote confuses every subsequent check on the same line.
+
+Diagnostics carry ``htmlchek:``-prefixed ids so they are never confused
+with weblint catalog messages.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.diagnostics import Diagnostic
+from repro.core.messages import Category
+from repro.html.spec import HTMLSpec, get_spec
+
+_TAG_RE = re.compile(r"<(/?)([A-Za-z][A-Za-z0-9]*)((?:[^>\"']|\"[^\"]*\"|'[^']*')*)>")
+_IMG_RE = re.compile(r"<img\b([^>]*)>", re.IGNORECASE)
+_UNQUOTED_RE = re.compile(r"\b([A-Za-z-]+)=([^\s\"'>][^\s>]*)")
+
+
+def _diag(
+    check: str, text: str, line: int, filename: str, category: Category = Category.ERROR
+) -> Diagnostic:
+    return Diagnostic(
+        message_id=f"htmlchek:{check}",
+        category=category,
+        text=text,
+        line=line,
+        filename=filename,
+    )
+
+
+class HtmlchekChecker:
+    """The stack-less checker."""
+
+    def __init__(self, spec: HTMLSpec | None = None) -> None:
+        self.spec = spec if spec is not None else get_spec("html40")
+
+    def check_string(self, source: str, filename: str = "-") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        open_counts: dict[str, int] = {}
+        close_counts: dict[str, int] = {}
+
+        for line_number, line in enumerate(source.splitlines(), start=1):
+            diagnostics.extend(self._check_line(line, line_number, filename))
+            for match in _TAG_RE.finditer(line):
+                closing, name = match.group(1), match.group(2).lower()
+                counts = close_counts if closing else open_counts
+                counts[name] = counts.get(name, 0) + 1
+                if not self.spec.is_known(name):
+                    diagnostics.append(
+                        _diag(
+                            "unknown-tag",
+                            f"unknown tag <{'/' if closing else ''}{name.upper()}>",
+                            line_number,
+                            filename,
+                        )
+                    )
+
+        diagnostics.extend(
+            self._count_mismatches(source, open_counts, close_counts, filename)
+        )
+        return diagnostics
+
+    # -- per-line checks ------------------------------------------------------
+
+    def _check_line(
+        self, line: str, line_number: int, filename: str
+    ) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        if line.count('"') % 2 == 1:
+            found.append(
+                _diag(
+                    "odd-quotes",
+                    "odd number of quote characters on line",
+                    line_number,
+                    filename,
+                    Category.WARNING,
+                )
+            )
+        for match in _IMG_RE.finditer(line):
+            attrs = match.group(1).lower()
+            if "alt=" not in attrs and not attrs.rstrip().endswith("alt"):
+                found.append(
+                    _diag(
+                        "img-alt",
+                        "IMG without ALT attribute",
+                        line_number,
+                        filename,
+                        Category.WARNING,
+                    )
+                )
+        for tag_match in _TAG_RE.finditer(line):
+            for attr_match in _UNQUOTED_RE.finditer(tag_match.group(3)):
+                found.append(
+                    _diag(
+                        "unquoted-value",
+                        f"unquoted attribute value "
+                        f"{attr_match.group(1)}={attr_match.group(2)}",
+                        line_number,
+                        filename,
+                        Category.WARNING,
+                    )
+                )
+        return found
+
+    # -- whole-document count check ------------------------------------------------
+
+    def _count_mismatches(
+        self,
+        source: str,
+        open_counts: dict[str, int],
+        close_counts: dict[str, int],
+        filename: str,
+    ) -> list[Diagnostic]:
+        last_line = source.count("\n") + 1
+        found: list[Diagnostic] = []
+        for name in sorted(set(open_counts) | set(close_counts)):
+            elem = self.spec.element(name)
+            if elem is not None and not elem.strict_container:
+                continue
+            opened = open_counts.get(name, 0)
+            closed = close_counts.get(name, 0)
+            if opened > closed:
+                found.append(
+                    _diag(
+                        "count-mismatch",
+                        f"{opened - closed} <{name.upper()}> tag(s) never closed",
+                        last_line,
+                        filename,
+                    )
+                )
+            elif closed > opened:
+                found.append(
+                    _diag(
+                        "count-mismatch",
+                        f"{closed - opened} </{name.upper()}> tag(s) never opened",
+                        last_line,
+                        filename,
+                    )
+                )
+        return found

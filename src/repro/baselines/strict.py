@@ -1,0 +1,255 @@
+"""Strict, SGML-parser-style validator -- the SP/nsgmls stand-in.
+
+Paper section 3.2: "Strict validators have the obvious advantage that you
+are checking against the bible (the DTD).  On the down-side, the warning
+and error messages are usually straight from the parser, and require a
+grounding in SGML to understand."
+
+This validator is driven by the same :class:`~repro.html.spec.HTMLSpec`
+tables (or a spec generated from a DTD by :mod:`repro.html.dtdgen`) but
+behaves like a parser, not a lint:
+
+- *no recovery heuristics*: an end tag that does not match the innermost
+  open element produces "end tag omitted" errors for every element popped
+  on the way to a match, or an "ignored" error if there is no match --
+  the classic SGML cascade;
+- messages use parser jargon ("document type does not allow element X
+  here"), reproducing the usability contrast the paper draws;
+- checking stops being meaningful rather than adapting: the validator
+  trusts the DTD, not the author.
+
+Diagnostics carry ``sgml:``-prefixed ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.diagnostics import Diagnostic
+from repro.core.messages import Category
+from repro.html.spec import HTMLSpec, get_spec
+from repro.html.tokenizer import tokenize
+from repro.html.tokens import Declaration, EndTag, StartTag, Text
+
+
+@dataclass
+class _Open:
+    name: str
+    line: int
+
+
+def _diag(check: str, text: str, line: int, filename: str) -> Diagnostic:
+    return Diagnostic(
+        message_id=f"sgml:{check}",
+        category=Category.ERROR,
+        text=text,
+        line=line,
+        filename=filename,
+    )
+
+
+class StrictValidator:
+    """Validate one document strictly against a spec."""
+
+    def __init__(self, spec: HTMLSpec | None = None) -> None:
+        self.spec = spec if spec is not None else get_spec("html40")
+
+    def check_string(self, source: str, filename: str = "-") -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        stack: list[_Open] = []
+        seen_doctype = False
+        last_line = 1
+
+        for token in tokenize(source):
+            last_line = token.line
+            if isinstance(token, Declaration):
+                if token.is_doctype:
+                    seen_doctype = True
+            elif isinstance(token, StartTag):
+                if not seen_doctype:
+                    diagnostics.append(
+                        _diag(
+                            "no-doctype",
+                            "prolog error: no document type declaration; "
+                            "parsing without validation is not possible",
+                            token.line,
+                            filename,
+                        )
+                    )
+                    seen_doctype = True  # report once, like nsgmls -E
+                self._start_tag(token, stack, diagnostics, filename)
+            elif isinstance(token, EndTag):
+                self._end_tag(token, stack, diagnostics, filename)
+            elif isinstance(token, Text):
+                self._text(token, stack, diagnostics, filename)
+
+        for entry in reversed(stack):
+            elem = self.spec.element(entry.name)
+            if elem is not None and elem.optional_end:
+                continue
+            diagnostics.append(
+                _diag(
+                    "end-tag-omitted",
+                    f'end tag for "{entry.name.upper()}" omitted, but its '
+                    f"declaration does not permit this",
+                    last_line,
+                    filename,
+                )
+            )
+        return diagnostics
+
+    # -- token handlers ---------------------------------------------------------
+
+    def _start_tag(
+        self,
+        tag: StartTag,
+        stack: list[_Open],
+        diagnostics: list[Diagnostic],
+        filename: str,
+    ) -> None:
+        name = tag.lowered
+        elem = self.spec.element(name)
+        if elem is None:
+            diagnostics.append(
+                _diag(
+                    "undefined-element",
+                    f'element "{name.upper()}" undefined',
+                    tag.line,
+                    filename,
+                )
+            )
+            return
+
+        # Content model: implicit closes per the DTD, then context check.
+        while stack and stack[-1].name in elem.closes:
+            stack.pop()
+        if elem.allowed_in is not None:
+            parent = stack[-1].name if stack else None
+            if parent is None or parent not in elem.allowed_in:
+                diagnostics.append(
+                    _diag(
+                        "not-allowed-here",
+                        f'document type does not allow element "{name.upper()}" '
+                        f"here"
+                        + (
+                            f'; assuming missing "{sorted(elem.allowed_in)[0].upper()}" '
+                            f"start-tag"
+                            if elem.allowed_in
+                            else ""
+                        ),
+                        tag.line,
+                        filename,
+                    )
+                )
+        for exclusion_holder in stack:
+            holder = self.spec.element(exclusion_holder.name)
+            if holder is not None and name in holder.excludes:
+                diagnostics.append(
+                    _diag(
+                        "excluded-element",
+                        f'element "{name.upper()}" not allowed within '
+                        f'"{exclusion_holder.name.upper()}" (exclusion)',
+                        tag.line,
+                        filename,
+                    )
+                )
+                break
+
+        for attr in tag.attributes:
+            definition = self.spec.attribute_def(name, attr.lowered)
+            if definition is None:
+                diagnostics.append(
+                    _diag(
+                        "undefined-attribute",
+                        f'there is no attribute "{attr.name.upper()}"',
+                        tag.line,
+                        filename,
+                    )
+                )
+            elif attr.has_value and not definition.value_ok(attr.value):
+                diagnostics.append(
+                    _diag(
+                        "bad-attribute-value",
+                        f'value "{attr.value}" of attribute '
+                        f'"{attr.name.upper()}" cannot be parsed against its '
+                        f"declared value",
+                        tag.line,
+                        filename,
+                    )
+                )
+        for required in elem.required_attributes():
+            if not tag.has_attribute(required):
+                diagnostics.append(
+                    _diag(
+                        "required-attribute",
+                        f'required attribute "{required.upper()}" not specified',
+                        tag.line,
+                        filename,
+                    )
+                )
+
+        if not elem.empty and not tag.self_closing:
+            stack.append(_Open(name=name, line=tag.line))
+
+    def _end_tag(
+        self,
+        tag: EndTag,
+        stack: list[_Open],
+        diagnostics: list[Diagnostic],
+        filename: str,
+    ) -> None:
+        name = tag.lowered
+        if not any(entry.name == name for entry in stack):
+            diagnostics.append(
+                _diag(
+                    "end-tag-ignored",
+                    f'end tag for element "{name.upper()}" which is not open; '
+                    f"ignored",
+                    tag.line,
+                    filename,
+                )
+            )
+            return
+        # Pop to the match; every strict container popped on the way is an
+        # "omitted end tag" error.  No heuristics, no secondary stack.
+        while stack:
+            entry = stack.pop()
+            if entry.name == name:
+                break
+            elem = self.spec.element(entry.name)
+            if elem is None or elem.optional_end:
+                continue
+            diagnostics.append(
+                _diag(
+                    "end-tag-omitted",
+                    f'end tag for "{entry.name.upper()}" omitted, but its '
+                    f"declaration does not permit this; start tag was at "
+                    f"line {entry.line}",
+                    tag.line,
+                    filename,
+                )
+            )
+
+    def _text(
+        self,
+        token: Text,
+        stack: list[_Open],
+        diagnostics: list[Diagnostic],
+        filename: str,
+    ) -> None:
+        if token.is_whitespace:
+            return
+        # Character data directly inside elements that only take structure
+        # is an SGML error ("character data not allowed here").
+        if stack and stack[-1].name in (
+            "html", "head", "table", "tr", "ul", "ol", "dl", "select",
+        ):
+            diagnostics.append(
+                _diag(
+                    "pcdata-not-allowed",
+                    f"character data is not allowed directly within "
+                    f'"{stack[-1].name.upper()}"',
+                    token.line,
+                    filename,
+                )
+            )

@@ -1,0 +1,205 @@
+"""Tidy-style fixer: identify common errors and repair them.
+
+Paper section 3.3: "HTML Tidy ... identifies a number of common HTML
+errors, and fixes them for you ... will generate warnings only for
+problems which it doesn't know how to fix."  Section 3.7 records the
+author's philosophy: weblint stays an identifier, like lint.  This module
+exists so the repository can *demonstrate* that contrast (experiment
+E13): run the fixer, re-lint, and watch the error count drop -- while
+problems that need a human (unknown elements, content-free anchor text)
+survive and are listed as unfixable.
+
+Repairs performed:
+
+- quote unquoted / single-quoted attribute values, repair odd quotes;
+- insert missing end tags (at parent close or end of file);
+- repair overlapping elements by closing in nesting order;
+- rewrite mismatched heading closes (<H1>...</H2> becomes </H1>);
+- add ``alt=""`` to IMG elements without ALT;
+- replace obsolete elements by their successors (LISTING -> PRE);
+- drop unmatched end tags and repeated attributes;
+- normalise tag and attribute names to lower case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.html.spec import HTMLSpec, get_spec
+from repro.html.tokenizer import tokenize
+from repro.html.tokens import (
+    Comment,
+    Declaration,
+    EndTag,
+    ProcessingInstruction,
+    StartTag,
+    Text,
+)
+
+_HEADINGS = frozenset({"h1", "h2", "h3", "h4", "h5", "h6"})
+
+
+@dataclass(frozen=True)
+class Fix:
+    line: int
+    description: str
+
+
+@dataclass
+class FixResult:
+    html: str
+    fixes: list[Fix] = field(default_factory=list)
+    unfixable: list[Fix] = field(default_factory=list)
+
+    def fix_count(self) -> int:
+        return len(self.fixes)
+
+
+class TidyLikeFixer:
+    """Fix what can be fixed; report the rest."""
+
+    def __init__(self, spec: HTMLSpec | None = None) -> None:
+        self.spec = spec if spec is not None else get_spec("html40")
+
+    def fix_string(self, source: str) -> FixResult:
+        result = FixResult(html="")
+        output: list[str] = []
+        stack: list[str] = []  # open container element names
+        last_line = 1
+
+        for token in tokenize(source):
+            last_line = token.line
+            if isinstance(token, StartTag):
+                output.append(self._fix_start_tag(token, stack, result))
+            elif isinstance(token, EndTag):
+                output.append(self._fix_end_tag(token, stack, result))
+            elif isinstance(token, (Text, Comment, Declaration, ProcessingInstruction)):
+                output.append(token.raw)
+
+        while stack:
+            name = stack.pop()
+            elem = self.spec.element(name)
+            if elem is not None and elem.optional_end:
+                continue
+            output.append(f"</{name}>")
+            result.fixes.append(
+                Fix(last_line, f"inserted missing </{name}> at end of file")
+            )
+
+        result.html = "".join(output)
+        return result
+
+    # -- start tags -------------------------------------------------------------
+
+    def _fix_start_tag(
+        self, tag: StartTag, stack: list[str], result: FixResult
+    ) -> str:
+        name = tag.lowered
+        elem = self.spec.element(name)
+
+        if elem is None:
+            result.unfixable.append(
+                Fix(tag.line, f"unknown element <{name}> left as-is")
+            )
+        elif elem.obsolete and elem.replacement:
+            result.fixes.append(
+                Fix(tag.line, f"replaced obsolete <{name}> with <{elem.replacement}>")
+            )
+            name = elem.replacement
+            elem = self.spec.element(name)
+
+        if name != tag.name:
+            pass  # replacement above
+        elif tag.name != tag.name.lower():
+            result.fixes.append(
+                Fix(tag.line, f"lower-cased tag <{tag.name}>")
+            )
+
+        # Implicit closes, mirroring the checker so nesting stays sane.
+        prefix_closes: list[str] = []
+        if elem is not None and elem.closes:
+            while stack and stack[-1] in elem.closes:
+                closed = stack.pop()
+                closed_elem = self.spec.element(closed)
+                if closed_elem is not None and closed_elem.optional_end:
+                    prefix_closes.append(f"</{closed}>")
+                    result.fixes.append(
+                        Fix(tag.line, f"inserted omitted </{closed}>")
+                    )
+
+        attributes = self._fix_attributes(tag, elem, result)
+
+        if name == "img" and tag.get("alt") is None:
+            attributes.append('alt=""')
+            result.fixes.append(Fix(tag.line, 'added alt="" to <img>'))
+
+        if elem is None or elem.container:
+            if not tag.self_closing:
+                stack.append(name)
+        rendered_attrs = (" " + " ".join(attributes)) if attributes else ""
+        return "".join(prefix_closes) + f"<{name}{rendered_attrs}>"
+
+    def _fix_attributes(
+        self, tag: StartTag, elem, result: FixResult
+    ) -> list[str]:
+        rendered: list[str] = []
+        seen: set[str] = set()
+        for attr in tag.attributes:
+            lowered = attr.lowered
+            if lowered in seen:
+                result.fixes.append(
+                    Fix(tag.line, f"dropped repeated attribute {lowered}")
+                )
+                continue
+            seen.add(lowered)
+            if not attr.has_value:
+                rendered.append(lowered)
+                continue
+            if attr.quote != '"':
+                what = {
+                    None: "quoted unquoted value",
+                    "'": "replaced single-quote delimiters",
+                }[attr.quote]
+                result.fixes.append(Fix(tag.line, f"{what} for {lowered}"))
+            value = attr.value.replace('"', "&quot;")
+            rendered.append(f'{lowered}="{value}"')
+        return rendered
+
+    # -- end tags ------------------------------------------------------------------
+
+    def _fix_end_tag(
+        self, tag: EndTag, stack: list[str], result: FixResult
+    ) -> str:
+        name = tag.lowered
+
+        # Mismatched heading close: rewrite to the open heading.
+        if name in _HEADINGS and stack and stack[-1] in _HEADINGS and stack[-1] != name:
+            open_heading = stack.pop()
+            result.fixes.append(
+                Fix(tag.line, f"rewrote </{name}> to </{open_heading}>")
+            )
+            return f"</{open_heading}>"
+
+        if name not in stack:
+            result.fixes.append(
+                Fix(tag.line, f"discarded unmatched </{name}>")
+            )
+            return ""
+
+        # Close skipped elements in proper nesting order (repairs overlap).
+        closes: list[str] = []
+        while stack:
+            open_name = stack.pop()
+            if open_name == name:
+                break
+            closes.append(f"</{open_name}>")
+            result.fixes.append(
+                Fix(
+                    tag.line,
+                    f"closed <{open_name}> before </{name}> to repair overlap",
+                )
+            )
+        closes.append(f"</{name}>")
+        if tag.name != tag.name.lower() and not closes[:-1]:
+            result.fixes.append(Fix(tag.line, f"lower-cased tag </{tag.name}>"))
+        return "".join(closes)

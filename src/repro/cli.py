@@ -1,0 +1,253 @@
+"""The ``weblint`` command -- the paper's script front-end.
+
+Section 5.3: "The weblint script is now a wrapper around the modules ...
+with documentation for the user who doesn't want to know about the
+existence of the modules."  Section 4.1 requires that it be easy to run
+"from the command-line, a batch script (for example under crontab on
+Unix), a web page, a robot, or an application" -- hence the stable exit
+codes, stdin support and machine-readable output formats.
+
+Configuration precedence (section 4.4): site configuration file, then the
+user's ``.weblintrc``, then command-line switches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.config import load_configuration
+from repro.config.options import Options, UnknownMessageError
+from repro.config.presets import apply_preset, available_presets
+from repro.config.rcfile import ConfigError
+from repro.core import constants
+from repro.core.linter import Weblint, WeblintError
+from repro.core.messages import CATALOG
+from repro.core.reporter import available_reporters, get_reporter
+from repro.html.spec import available_specs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="weblint",
+        description="pick fluff off web pages (HTML syntax and style checker)",
+        epilog="exit status: 0 clean, 1 problems found, 2 usage error",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="FILE",
+        help="HTML files to check ('-' for stdin); directories with -R",
+    )
+    parser.add_argument(
+        "-s", "--short",
+        action="store_true",
+        help="short output format: 'line N: ...' instead of 'file(N): ...'",
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="store_true",
+        help="verbose output: message ids, categories and explanations",
+    )
+    parser.add_argument(
+        "-f", "--format",
+        choices=available_reporters(),
+        help="output format (overrides -s/-v)",
+    )
+    parser.add_argument(
+        "-e", "--enable",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="enable a message id or category (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "-d", "--disable",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="disable a message id or category (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "-x", "--extension",
+        metavar="SPEC",
+        help=f"HTML version / vendor extension ({', '.join(available_specs())})",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=available_presets(),
+        help="named configuration preset",
+    )
+    parser.add_argument(
+        "--pedantic",
+        action="store_true",
+        help="enable every message (shorthand for --preset pedantic)",
+    )
+    parser.add_argument(
+        "-R", "--recurse",
+        action="store_true",
+        help="recurse into directories: whole-site check with index-file, "
+        "orphan-page and local link analyses",
+    )
+    parser.add_argument(
+        "--rcfile",
+        metavar="FILE",
+        help="alternate user configuration file (default ~/.weblintrc)",
+    )
+    parser.add_argument(
+        "--site-config",
+        metavar="FILE",
+        help="site-wide configuration file (lowest precedence)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore all configuration files",
+    )
+    parser.add_argument(
+        "--site-report",
+        metavar="FILE",
+        help="with -R: also write a Spot-style HTML site report to FILE "
+        "('-' prints the text summary instead)",
+    )
+    parser.add_argument(
+        "--locale",
+        metavar="LOCALE",
+        help="render messages in another language (en, fr, de)",
+    )
+    parser.add_argument(
+        "--list-messages",
+        action="store_true",
+        help="list all message identifiers and exit",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"weblint (repro) {constants.WEBLINT_VERSION}",
+    )
+    return parser
+
+
+def _list_messages(stream) -> None:
+    stream.write(f"{'identifier':28} {'category':8} {'default':7} description\n")
+    for message in CATALOG.values():
+        stream.write(
+            f"{message.id:28} {message.category.value:8} "
+            f"{'on' if message.enabled_default else 'off':7} "
+            f"{message.description}\n"
+        )
+
+
+def _build_options(args: argparse.Namespace) -> Options:
+    if args.no_config:
+        options = Options.with_defaults()
+    else:
+        options = load_configuration(
+            site_file=args.site_config, user_file=args.rcfile
+        )
+    # Command-line switches override both configuration files.
+    if args.preset:
+        apply_preset(options, args.preset)
+    if args.pedantic:
+        apply_preset(options, "pedantic")
+    for chunk in args.enable:
+        options.enable(*[part for part in chunk.split(",") if part])
+    for chunk in args.disable:
+        options.disable(*[part for part in chunk.split(",") if part])
+    if args.extension:
+        options.spec_name = args.extension
+    if args.short:
+        options.short_format = True
+    if args.verbose:
+        options.verbose = True
+    if args.recurse:
+        options.recurse = True
+    return options
+
+
+def _pick_reporter(args: argparse.Namespace):
+    if args.locale and args.locale.lower() not in ("en", "c"):
+        from repro.core.i18n import LocalisedReporter
+
+        return LocalisedReporter(args.locale)
+    if args.format:
+        return get_reporter(args.format)
+    if args.verbose:
+        return get_reporter("verbose")
+    if args.short:
+        return get_reporter("short")
+    return get_reporter("lint")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output was piped into something like head; not our problem.
+        return constants.EXIT_CLEAN
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out, err = sys.stdout, sys.stderr
+
+    if args.list_messages:
+        _list_messages(out)
+        return constants.EXIT_CLEAN
+
+    try:
+        options = _build_options(args)
+    except (ConfigError, UnknownMessageError, ValueError) as exc:
+        err.write(f"weblint: {exc}\n")
+        return constants.EXIT_USAGE
+
+    try:
+        weblint = Weblint(options=options, reporter=_pick_reporter(args))
+    except KeyError as exc:
+        err.write(f"weblint: {exc}\n")
+        return constants.EXIT_USAGE
+
+    paths = args.paths or ["-"]
+    total = 0
+    try:
+        for path_text in paths:
+            if path_text == "-":
+                diagnostics = weblint.check_string(sys.stdin.read(), "stdin")
+            elif Path(path_text).is_dir():
+                if not options.recurse:
+                    err.write(
+                        f"weblint: {path_text} is a directory (use -R)\n"
+                    )
+                    return constants.EXIT_USAGE
+                from repro.site.sitecheck import SiteChecker
+
+                report = SiteChecker(weblint=weblint).check_directory(path_text)
+                diagnostics = report.all_diagnostics()
+                if args.site_report:
+                    from repro.site.report import (
+                        render_html_report,
+                        render_text_report,
+                    )
+
+                    if args.site_report == "-":
+                        out.write(render_text_report(report) + "\n")
+                    else:
+                        Path(args.site_report).write_text(
+                            render_html_report(report)
+                        )
+            else:
+                diagnostics = weblint.check_file(path_text)
+            total += len(diagnostics)
+            weblint.report(diagnostics, stream=out)
+    except WeblintError as exc:
+        err.write(f"weblint: {exc}\n")
+        return constants.EXIT_USAGE
+
+    return constants.EXIT_WARNINGS if total else constants.EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

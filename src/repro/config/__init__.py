@@ -1,0 +1,54 @@
+"""Configuration -- the ``Weblint::Config`` module.
+
+Paper section 4.4 defines three configuration layers, in increasing
+precedence:
+
+1. a **site configuration file** ("the style guide for a company"),
+2. a **user configuration file** (``.weblintrc``),
+3. **command-line switches**.
+
+:class:`~repro.config.options.Options` holds the resolved state;
+:mod:`repro.config.rcfile` parses the file format;
+:func:`load_configuration` composes the three layers.
+"""
+
+from repro.config.options import Options
+from repro.config.presets import apply_preset, available_presets
+from repro.config.rcfile import ConfigError, apply_rcfile, parse_rcfile
+
+__all__ = [
+    "Options",
+    "ConfigError",
+    "parse_rcfile",
+    "apply_rcfile",
+    "apply_preset",
+    "available_presets",
+    "load_configuration",
+]
+
+import os
+from pathlib import Path
+from typing import Optional
+
+
+def load_configuration(
+    *,
+    site_file: Optional[str] = None,
+    user_file: Optional[str] = None,
+    defaults: Optional[Options] = None,
+) -> Options:
+    """Build an :class:`Options` from the configuration file layers.
+
+    ``user_file`` defaults to ``$WEBLINTRC`` or ``~/.weblintrc`` when not
+    given; missing files are simply skipped.  Command-line overrides are
+    applied afterwards by the caller (:mod:`repro.cli`), preserving the
+    paper's precedence order.
+    """
+    options = defaults if defaults is not None else Options.with_defaults()
+    if site_file and Path(site_file).is_file():
+        apply_rcfile(options, site_file)
+    if user_file is None:
+        user_file = os.environ.get("WEBLINTRC") or str(Path.home() / ".weblintrc")
+    if user_file and Path(user_file).is_file():
+        apply_rcfile(options, user_file)
+    return options

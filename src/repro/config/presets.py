@@ -1,0 +1,63 @@
+"""Named configuration presets.
+
+The paper notes messages that are "esoteric or overly pedantic (I love
+'em!)" are disabled by default.  Presets give one-word access to the
+obvious bundles:
+
+``default``
+    The 42 messages weblint 1.020 enables out of the box.
+``pedantic``
+    Everything on -- including the esoteric and overly pedantic.
+``minimal``
+    Errors only: just the things you must fix.
+``style-guide``
+    Errors + style comments, for editorial review passes.
+``accessibility``
+    Defaults plus the accessibility-oriented checks (img-alt, table
+    summaries, form labels...), in the spirit of Bobby (paper section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.config.options import Options
+from repro.core.messages import CATALOG
+
+_PRESETS = ("default", "pedantic", "minimal", "style-guide", "accessibility")
+
+
+def available_presets() -> tuple[str, ...]:
+    return _PRESETS
+
+
+def apply_preset(options: Options, preset: str) -> None:
+    """Reset the enabled set of ``options`` to the named preset."""
+    name = preset.strip().lower()
+    if name == "default":
+        defaults = Options.with_defaults()
+        options.enabled = set(defaults.enabled)
+    elif name == "pedantic":
+        options.enabled = set(CATALOG)
+        # Mutually exclusive house styles: pedantic favours lower case,
+        # because enabling both would flag every single tag.
+        options.enabled.discard("upper-case")
+        options.case_style = "lower"
+    elif name == "minimal":
+        options.only("error")
+    elif name == "style-guide":
+        options.only("error", "style")
+        options.enabled.discard("upper-case")
+        options.enabled.discard("lower-case")
+    elif name == "accessibility":
+        defaults = Options.with_defaults()
+        options.enabled = set(defaults.enabled)
+        options.enable(
+            "img-alt",
+            "table-summary",
+            "form-label",
+            "frame-noframes",
+            "mailto-link",
+        )
+    else:
+        raise ValueError(
+            f"unknown preset {preset!r}; available: {', '.join(_PRESETS)}"
+        )

@@ -1,0 +1,128 @@
+"""Configuration file parser (``.weblintrc`` and the site file).
+
+The format follows classic weblint rc files: one directive per line,
+``#`` comments, case-insensitive keywords.
+
+::
+
+    # company style guide
+    disable physical-font, mailto-link
+    enable  upper-case
+    enable  style                 # a whole category (weblint 2)
+    extension netscape            # check against Navigator markup
+    element  COOLTAG              # accept a tool-specific element
+    attribute IMG LOWSRC          # accept a tool-specific attribute
+    set max-title-length 80
+    set here-words click me, start here
+
+Directives:
+
+``enable`` / ``disable``
+    Comma- or space-separated message identifiers or category names.
+``extension``
+    Shorthand for ``set spec netscape`` / ``microsoft``.
+``element`` / ``attribute``
+    Register custom markup (future-work configurability, section 6.1).
+``set``
+    Any option understood by :meth:`repro.config.options.Options.set_option`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.config.options import Options, UnknownMessageError
+
+
+class ConfigError(Exception):
+    """A configuration file could not be parsed or applied."""
+
+    def __init__(self, filename: str, line_number: int, reason: str) -> None:
+        super().__init__(f"{filename}:{line_number}: {reason}")
+        self.filename = filename
+        self.line_number = line_number
+        self.reason = reason
+
+
+def _split_list(argument: str) -> list[str]:
+    parts: list[str] = []
+    for chunk in argument.replace(",", " ").split():
+        if chunk:
+            parts.append(chunk)
+    return parts
+
+
+def parse_rcfile(text: str, filename: str = "<config>") -> list[tuple[int, str, str]]:
+    """Parse rc text into ``(line_number, directive, argument)`` triples."""
+    directives: list[tuple[int, str, str]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        directive = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if directive not in (
+            "enable",
+            "disable",
+            "extension",
+            "element",
+            "attribute",
+            "set",
+        ):
+            raise ConfigError(filename, line_number, f"unknown directive {directive!r}")
+        if not argument:
+            raise ConfigError(
+                filename, line_number, f"directive {directive!r} needs an argument"
+            )
+        directives.append((line_number, directive, argument))
+    return directives
+
+
+def apply_directives(
+    options: Options,
+    directives: list[tuple[int, str, str]],
+    filename: str = "<config>",
+) -> None:
+    for line_number, directive, argument in directives:
+        try:
+            if directive == "enable":
+                options.enable(*_split_list(argument))
+            elif directive == "disable":
+                options.disable(*_split_list(argument))
+            elif directive == "extension":
+                options.spec_name = argument.strip().lower()
+            elif directive == "element":
+                for name in _split_list(argument):
+                    options.add_custom_element(name)
+            elif directive == "attribute":
+                parts = _split_list(argument)
+                if len(parts) < 2:
+                    raise ConfigError(
+                        filename,
+                        line_number,
+                        "attribute directive needs: ELEMENT ATTRIBUTE...",
+                    )
+                element, attributes = parts[0], parts[1:]
+                for attribute in attributes:
+                    options.add_custom_attribute(element, attribute)
+            elif directive == "set":
+                parts = argument.split(None, 1)
+                if len(parts) != 2:
+                    raise ConfigError(
+                        filename, line_number, "set directive needs: KEY VALUE"
+                    )
+                options.set_option(parts[0], parts[1])
+        except ConfigError:
+            raise
+        except (UnknownMessageError, ValueError) as exc:
+            raise ConfigError(filename, line_number, str(exc)) from exc
+
+
+def apply_rcfile(options: Options, path: Union[str, Path]) -> None:
+    """Read and apply one configuration file in place."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    directives = parse_rcfile(text, filename=str(path))
+    apply_directives(options, directives, filename=str(path))

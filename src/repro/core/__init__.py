@@ -1,0 +1,22 @@
+"""Core weblint: message catalog, stack-machine engine, rules, reporters.
+
+The public entry point is :class:`repro.core.linter.Weblint`, re-exported
+at package top level as :class:`repro.Weblint`.
+
+``Weblint`` is imported lazily here: the linter pulls in the config
+package, which itself needs the message catalog from this package, and a
+module-level import would close that cycle.
+"""
+
+from repro.core.diagnostics import Diagnostic
+from repro.core.messages import CATALOG, Category, Message
+
+__all__ = ["Weblint", "Diagnostic", "CATALOG", "Category", "Message"]
+
+
+def __getattr__(name: str):
+    if name == "Weblint":
+        from repro.core.linter import Weblint
+
+        return Weblint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

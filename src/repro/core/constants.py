@@ -1,0 +1,52 @@
+"""Shared constants -- the ``Weblint::Constants`` module.
+
+Small, dependency-free values used across the core packages.
+"""
+
+from __future__ import annotations
+
+#: Version of the reproduced tool (weblint 2 development line).
+WEBLINT_VERSION = "2.0.0a1"
+
+#: The weblint 1 release whose catalog statistics the paper quotes:
+#: "Weblint 1.020 supports 50 different output messages, 42 of which are
+#: enabled by default."
+HERITAGE_RELEASE = "1.020"
+HERITAGE_MESSAGE_COUNT = 50
+HERITAGE_DEFAULT_ENABLED = 42
+
+#: Default HTML language to check against (paper section 5.5).
+DEFAULT_SPEC = "html40"
+
+#: Names browsers treat as a directory index, for the -R directory check.
+INDEX_FILENAMES = ("index.html", "index.htm", "index.shtml", "default.htm")
+
+#: File extensions that look like HTML pages when recursing.
+HTML_EXTENSIONS = (".html", ".htm", ".shtml", ".xhtml")
+
+#: TITLE length beyond which the (off-by-default) title-length message
+#: fires; 64 is the classic weblint limit.
+MAX_TITLE_LENGTH = 64
+
+#: Exit codes for the command-line script: lint convention is non-zero
+#: when problems were found.
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_USAGE = 2
+
+#: Content-free anchor texts for the here-anchor style check.  The paper:
+#: 'Use of "here" and other content-free text within anchors.'
+CONTENT_FREE_ANCHOR_TEXT = (
+    "here",
+    "click here",
+    "click",
+    "this",
+    "link",
+    "this link",
+    "click this link",
+    "more",
+    "read more",
+    "page",
+    "web page",
+    "follow this link",
+)

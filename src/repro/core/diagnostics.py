@@ -1,0 +1,54 @@
+"""Diagnostic objects -- one emitted problem.
+
+A :class:`Diagnostic` is what the checker produces and what reporters
+format.  It is deliberately dumb data: formatting belongs to
+:mod:`repro.core.reporter`, enable/disable policy to
+:mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.messages import Category, Message, message
+
+
+@dataclass
+class Diagnostic:
+    """One reported problem in one source location."""
+
+    message_id: str
+    category: Category
+    text: str
+    line: int
+    column: int = 0
+    filename: str = "-"
+    arguments: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        message_id: str,
+        *,
+        line: int,
+        column: int = 0,
+        filename: str = "-",
+        **arguments: Any,
+    ) -> "Diagnostic":
+        msg: Message = message(message_id)
+        return cls(
+            message_id=message_id,
+            category=msg.category,
+            text=msg.format(**arguments),
+            line=line,
+            column=column,
+            filename=filename,
+            arguments=dict(arguments),
+        )
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.filename, self.line, self.column, self.message_id)
+
+    def __str__(self) -> str:
+        return f"{self.filename}({self.line}): {self.text}"

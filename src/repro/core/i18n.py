@@ -1,0 +1,383 @@
+"""Internationalisation of weblint messages.
+
+Paper section 6.1 (future plans): "Internationalisation and localisation.
+Masayasu Ishikawa has done a lot of work in this area, which is being
+folded into Weblint 2."
+
+The mechanism: diagnostics carry their template *arguments* (not just the
+rendered text), so a localised reporter can re-render any diagnostic from
+a translated template.  Translations keep the exact placeholder set of
+the English original -- a property the test-suite enforces for every
+entry -- and missing translations fall back to English, so a partial
+catalog degrades gracefully.
+
+Shipped locales: ``en`` (the catalog itself), ``fr``, ``de``.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Optional
+
+from repro.core.diagnostics import Diagnostic
+from repro.core.messages import CATALOG
+from repro.core.reporter import LintReporter
+
+# -- translated templates ------------------------------------------------------
+
+FRENCH: dict[str, str] = {
+    "unclosed-element":
+        "balise fermante </{element}> introuvable pour <{element}> "
+        "ouverte à la ligne {open_line}",
+    "illegal-closing":
+        "balise fermante </{element}> sans <{element}> ouvrante",
+    "unknown-element":
+        "élément inconnu <{element}>{suggestion}",
+    "unknown-attribute":
+        "attribut \"{attribute}\" inconnu pour l'élément <{element}>",
+    "required-attribute":
+        "l'attribut {attribute} est obligatoire pour l'élément <{element}>",
+    "heading-mismatch":
+        "titre mal formé - la balise ouvrante est <{open_heading}>, "
+        "mais la fermante est </{close_heading}>",
+    "odd-quotes":
+        "nombre impair de guillemets dans l'élément <{tag}>",
+    "overlapped-element":
+        "</{closed}> à la ligne {close_line} semble chevaucher "
+        "<{open_element}>, ouvert à la ligne {open_line}",
+    "required-context":
+        "contexte illégal pour <{element}> - {requirement}",
+    "once-only":
+        "l'élément <{element}> ne peut apparaître qu'une seule fois "
+        "(vu d'abord à la ligne {first_line})",
+    "head-element":
+        "<{element}> ne peut apparaître que dans l'élément HEAD",
+    "closing-attribute":
+        "la balise fermante </{element}> ne doit pas porter d'attributs",
+    "attribute-format":
+        "valeur illégale pour l'attribut {attribute} de {element} ({value})",
+    "nested-element":
+        "<{element}> ne peut pas être imbriqué - </{element}> pas encore "
+        "vu pour <{element}> de la ligne {open_line}",
+    "unclosed-comment":
+        "commentaire non fermé, ouvert à la ligne {open_line}",
+    "unterminated-tag":
+        "balise <{element}> non terminée - aucun '>' trouvé",
+    "bad-link":
+        "cible {target} du lien introuvable ({status})",
+    "empty-tag":
+        "la balise vide \"<>\" n'est pas du HTML valide",
+    "expected-attribute":
+        "un attribut était attendu pour <{element}> ({expected})",
+    "require-doctype":
+        "le premier élément n'était pas une déclaration DOCTYPE",
+    "html-outer":
+        "les balises extérieures du document devraient être "
+        "<HTML> .. </HTML>",
+    "require-title":
+        "pas de <TITLE> dans l'élément HEAD",
+    "img-alt":
+        "IMG sans texte ALT",
+    "img-size":
+        "IMG sans attributs WIDTH et HEIGHT",
+    "quote-attribute-value":
+        "la valeur de l'attribut {attribute} ({value}) de l'élément "
+        "{element} devrait être entre guillemets "
+        "(c.-à-d. {attribute}=\"{value}\")",
+    "attribute-delimiter":
+        "l'apostrophe comme délimiteur de valeur n'est pas comprise par "
+        "tous les navigateurs (attribut {attribute} de l'élément {element})",
+    "repeated-attribute":
+        "l'attribut {attribute} est répété dans l'élément <{element}>",
+    "unknown-entity":
+        "référence d'entité inconnue \"&{entity};\"",
+    "unterminated-entity":
+        "référence d'entité \"&{entity}\" sans point-virgule final",
+    "literal-metacharacter":
+        "le métacaractère \"{char}\" devrait s'écrire \"{entity}\"",
+    "heading-order":
+        "mauvais style - le titre <H{level}> suit <H{previous}> en "
+        "sautant des niveaux",
+    "markup-in-comment":
+        "du balisage dans un commentaire peut dérouter certains navigateurs",
+    "nested-comment":
+        "les commentaires ne peuvent pas être imbriqués - \"<!--\" vu "
+        "dans un commentaire",
+    "deprecated-element":
+        "utilisation de l'élément déconseillé <{element}>{replacement}",
+    "deprecated-attribute":
+        "utilisation de l'attribut déconseillé {attribute} pour "
+        "l'élément <{element}>",
+    "netscape-markup":
+        "<{element}> est un balisage propre à Netscape",
+    "microsoft-markup":
+        "<{element}> est un balisage propre à Microsoft",
+    "leading-whitespace":
+        "pas d'espace entre \"<\" et \"{element}\"",
+    "directory-index":
+        "le répertoire {directory} n'a pas de fichier index ({expected})",
+    "orphan-page":
+        "la page {page} n'est référencée par aucune autre page vérifiée",
+    "mailto-link":
+        "le texte d'un lien mailto: devrait donner l'adresse ({href})",
+    "empty-container":
+        "élément conteneur vide <{element}>",
+    "container-whitespace":
+        "espace {position} dans le contenu de l'élément <{element}>",
+    "here-anchor":
+        "\"{text}\" comme texte d'ancre n'apporte rien ; le texte "
+        "devrait être parlant",
+    "physical-font":
+        "<{element}> est un balisage physique - préférez le logique "
+        "(p. ex. <{logical}>)",
+    "upper-case":
+        "la balise <{element}> n'est pas en majuscules",
+    "lower-case":
+        "la balise <{element}> n'est pas en minuscules",
+    "heading-in-anchor":
+        "titre <{heading}> dans une ancre - l'ancre devrait être dans "
+        "le titre",
+    "body-colors":
+        "{attribute} est défini sur BODY sans définir {missing}",
+    "title-length":
+        "le TITLE fait {length} caractères - restez sous {limit}",
+    "duplicate-id":
+        "l'ID \"{id}\" est déjà utilisé à la ligne {first_line} - les "
+        "ID doivent être uniques",
+    "frame-noframes":
+        "FRAMESET sans contenu NOFRAMES pénalise les navigateurs sans "
+        "cadres",
+    "self-closing-tag":
+        "la balise auto-fermante <{element}/> de style XML n'est pas "
+        "du HTML",
+    "table-summary":
+        "TABLE sans attribut SUMMARY - les résumés aident les clients "
+        "vocaux",
+    "form-label":
+        "le champ de formulaire <{element}> n'a pas de LABEL associé",
+    "meta-description":
+        "pas de META description/keywords - les moteurs de recherche "
+        "les utilisent",
+    "link-rev-made":
+        "pas de <LINK REV=MADE HREF=\"mailto:...\"> - les lecteurs ne "
+        "peuvent pas contacter l'auteur",
+    "bad-fragment":
+        "la cible {target} existe, mais le fragment \"#{fragment}\" n'y "
+        "est pas défini",
+    "css-syntax":
+        "syntaxe de feuille de style : {problem}",
+    "css-unknown-property":
+        "propriété de style inconnue \"{property}\"{suggestion}",
+    "css-unknown-color":
+        "couleur inconnue \"{value}\" pour la propriété \"{property}\"",
+    "script-syntax":
+        "le script semble mal formé : {problem}",
+}
+
+GERMAN: dict[str, str] = {
+    "unclosed-element":
+        "kein schließendes </{element}> für <{element}> aus Zeile "
+        "{open_line} gefunden",
+    "illegal-closing":
+        "</{element}> ohne passendes <{element}>",
+    "unknown-element":
+        "unbekanntes Element <{element}>{suggestion}",
+    "unknown-attribute":
+        "unbekanntes Attribut \"{attribute}\" für Element <{element}>",
+    "required-attribute":
+        "das Attribut {attribute} ist für das Element <{element}> "
+        "erforderlich",
+    "heading-mismatch":
+        "fehlerhafte Überschrift - geöffnet mit <{open_heading}>, "
+        "geschlossen mit </{close_heading}>",
+    "odd-quotes":
+        "ungerade Anzahl Anführungszeichen im Element <{tag}>",
+    "overlapped-element":
+        "</{closed}> in Zeile {close_line} überlappt anscheinend "
+        "<{open_element}>, geöffnet in Zeile {open_line}",
+    "required-context":
+        "unzulässiger Kontext für <{element}> - {requirement}",
+    "once-only":
+        "mehrere <{element}>-Elemente sind nicht erlaubt (zuerst in "
+        "Zeile {first_line})",
+    "head-element":
+        "<{element}> darf nur im HEAD-Element vorkommen",
+    "closing-attribute":
+        "das schließende Tag </{element}> darf keine Attribute tragen",
+    "attribute-format":
+        "unzulässiger Wert für Attribut {attribute} von {element} "
+        "({value})",
+    "nested-element":
+        "<{element}> darf nicht verschachtelt werden - </{element}> für "
+        "<{element}> aus Zeile {open_line} fehlt noch",
+    "unclosed-comment":
+        "nicht geschlossener Kommentar, geöffnet in Zeile {open_line}",
+    "unterminated-tag":
+        "unvollständiges <{element}>-Tag - kein '>' gefunden",
+    "bad-link":
+        "Linkziel {target} nicht gefunden ({status})",
+    "empty-tag":
+        "das leere Tag \"<>\" ist kein gültiges HTML",
+    "expected-attribute":
+        "für <{element}> wurde ein Attribut erwartet ({expected})",
+    "require-doctype":
+        "das erste Element war keine DOCTYPE-Deklaration",
+    "html-outer":
+        "die äußeren Tags des Dokuments sollten <HTML> .. </HTML> sein",
+    "require-title":
+        "kein <TITLE> im HEAD-Element",
+    "img-alt":
+        "IMG ohne ALT-Text",
+    "img-size":
+        "IMG ohne WIDTH- und HEIGHT-Attribute",
+    "quote-attribute-value":
+        "der Wert des Attributs {attribute} ({value}) von {element} "
+        "sollte in Anführungszeichen stehen (d. h. {attribute}=\"{value}\")",
+    "attribute-delimiter":
+        "einfache Anführungszeichen als Begrenzer versteht nicht jeder "
+        "Browser (Attribut {attribute} von {element})",
+    "repeated-attribute":
+        "Attribut {attribute} im Element <{element}> wiederholt",
+    "unknown-entity":
+        "unbekannte Entity-Referenz \"&{entity};\"",
+    "unterminated-entity":
+        "Entity-Referenz \"&{entity}\" ohne abschließendes Semikolon",
+    "literal-metacharacter":
+        "Metazeichen \"{char}\" sollte als \"{entity}\" geschrieben werden",
+    "heading-order":
+        "schlechter Stil - Überschrift <H{level}> folgt auf "
+        "<H{previous}> und überspringt Ebenen",
+    "markup-in-comment":
+        "Markup in einem Kommentar kann manche Browser verwirren",
+    "nested-comment":
+        "Kommentare dürfen nicht verschachtelt werden - \"<!--\" im "
+        "Kommentar gefunden",
+    "deprecated-element":
+        "veraltetes Element <{element}> verwendet{replacement}",
+    "deprecated-attribute":
+        "veraltetes Attribut {attribute} für Element <{element}> verwendet",
+    "netscape-markup":
+        "<{element}> ist Netscape-spezifisches Markup",
+    "microsoft-markup":
+        "<{element}> ist Microsoft-spezifisches Markup",
+    "leading-whitespace":
+        "zwischen \"<\" und \"{element}\" gehört kein Leerraum",
+    "directory-index":
+        "Verzeichnis {directory} hat keine Indexdatei ({expected})",
+    "orphan-page":
+        "Seite {page} wird von keiner anderen geprüften Seite verlinkt",
+    "mailto-link":
+        "der Text eines mailto:-Links sollte die Adresse nennen ({href})",
+    "empty-container":
+        "leeres Containerelement <{element}>",
+    "container-whitespace":
+        "{position} Leerraum im Inhalt des Elements <{element}>",
+    "here-anchor":
+        "\"{text}\" als Ankertext sagt nichts aus; der Text sollte "
+        "aussagekräftig sein",
+    "physical-font":
+        "<{element}> ist physisches Markup - besser logisch "
+        "(z. B. <{logical}>)",
+    "upper-case":
+        "Tag <{element}> ist nicht in Großbuchstaben",
+    "lower-case":
+        "Tag <{element}> ist nicht in Kleinbuchstaben",
+    "heading-in-anchor":
+        "Überschrift <{heading}> im Anker - der Anker gehört in die "
+        "Überschrift",
+    "body-colors":
+        "{attribute} auf BODY gesetzt, ohne {missing} zu setzen",
+    "title-length":
+        "TITLE ist {length} Zeichen lang - bleiben Sie unter {limit}",
+    "duplicate-id":
+        "ID \"{id}\" wurde bereits in Zeile {first_line} verwendet - "
+        "IDs müssen eindeutig sein",
+    "frame-noframes":
+        "FRAMESET ohne NOFRAMES-Inhalt benachteiligt Browser ohne Frames",
+    "self-closing-tag":
+        "selbstschließendes Tag <{element}/> im XML-Stil ist kein HTML",
+    "table-summary":
+        "TABLE ohne SUMMARY-Attribut - Zusammenfassungen helfen "
+        "Sprachausgaben",
+    "form-label":
+        "Formularfeld <{element}> hat kein zugeordnetes LABEL",
+    "meta-description":
+        "keine META description/keywords - Suchmaschinen nutzen sie",
+    "link-rev-made":
+        "kein <LINK REV=MADE HREF=\"mailto:...\"> - Leser können den "
+        "Autor nicht erreichen",
+    "bad-fragment":
+        "Ziel {target} existiert, aber das Fragment \"#{fragment}\" ist "
+        "dort nicht definiert",
+    "css-syntax":
+        "Stylesheet-Syntax: {problem}",
+    "css-unknown-property":
+        "unbekannte Stileigenschaft \"{property}\"{suggestion}",
+    "css-unknown-color":
+        "unbekannte Farbe \"{value}\" für Stileigenschaft \"{property}\"",
+    "script-syntax":
+        "Skript wirkt fehlerhaft: {problem}",
+}
+
+TRANSLATIONS: dict[str, dict[str, str]] = {
+    "fr": FRENCH,
+    "de": GERMAN,
+}
+
+
+def available_locales() -> list[str]:
+    return ["en", *sorted(TRANSLATIONS)]
+
+
+def template_for(message_id: str, locale: str) -> Optional[str]:
+    """The template for ``message_id`` in ``locale``; None = fall back."""
+    if locale in ("", "en", "en-us", "en-gb", "c"):
+        return None
+    base = locale.lower().split("-", 1)[0].split("_", 1)[0]
+    return TRANSLATIONS.get(base, {}).get(message_id)
+
+
+def placeholders(template: str) -> set[str]:
+    """The named format fields a template consumes."""
+    return {
+        field
+        for _text, field, _spec, _conv in string.Formatter().parse(template)
+        if field
+    }
+
+
+def localise(diagnostic: Diagnostic, locale: str) -> str:
+    """Render ``diagnostic`` in ``locale``, falling back to its text."""
+    template = template_for(diagnostic.message_id, locale)
+    if template is None:
+        return diagnostic.text
+    try:
+        return template.format(**diagnostic.arguments)
+    except (KeyError, IndexError):  # pragma: no cover - catalog bug guard
+        return diagnostic.text
+
+
+class LocalisedReporter(LintReporter):
+    """A lint-format reporter rendering messages in another language.
+
+    The Warnings-subclass mechanism of paper section 5.6 put to its
+    natural use.
+    """
+
+    name = "localised"
+
+    def __init__(self, locale: str) -> None:
+        self.locale = locale
+
+    def format(self, diagnostic: Diagnostic) -> str:
+        text = localise(diagnostic, self.locale)
+        return f"{diagnostic.filename}({diagnostic.line}): {text}"
+
+
+def coverage(locale: str) -> float:
+    """Fraction of catalog messages this locale translates."""
+    base = locale.lower().split("-", 1)[0]
+    table = TRANSLATIONS.get(base)
+    if table is None:
+        return 1.0 if base == "en" else 0.0
+    return len(set(table) & set(CATALOG)) / len(CATALOG)

@@ -1,0 +1,129 @@
+"""The ``Weblint`` class -- the paper's embeddable module.
+
+Paper section 5.4:
+
+    use Weblint;
+    $weblint = Weblint->new();
+    $weblint->check_file($filename);
+
+    "In addition to the check_file method above, it provides check_string
+    and check_url methods.  The latter requires the LWP modules ..."
+
+The Python equivalent::
+
+    from repro import Weblint
+    weblint = Weblint()
+    diagnostics = weblint.check_file("test.html")
+
+``check_url`` talks to a :class:`repro.www.client.UserAgent`; by default
+that agent has no live network (this reproduction substitutes LWP with an
+in-memory virtual web -- see DESIGN.md section 4), so callers pass an
+agent bound to a :class:`repro.www.virtualweb.VirtualWeb` or any object
+with a compatible ``get`` method.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.config.options import Options
+from repro.core.diagnostics import Diagnostic
+from repro.core.engine import Engine
+from repro.core.messages import Category
+from repro.core.reporter import LintReporter, Reporter, ShortReporter
+from repro.core.rules.base import Rule
+from repro.html.spec import HTMLSpec, get_spec
+
+
+class WeblintError(Exception):
+    """A document could not be checked (missing file, bad URL...)."""
+
+
+class Weblint:
+    """HTML checker facade: configuration + engine + reporting."""
+
+    def __init__(
+        self,
+        options: Optional[Options] = None,
+        spec: Optional[Union[str, HTMLSpec]] = None,
+        rules: Optional[Sequence[Rule]] = None,
+        reporter: Optional[Reporter] = None,
+        cascade_heuristics: bool = True,
+    ) -> None:
+        self.options = options if options is not None else Options.with_defaults()
+        if isinstance(spec, str):
+            spec = get_spec(spec)
+        self.spec = spec if spec is not None else get_spec(self.options.spec_name)
+        self._engine = Engine(
+            spec=self.spec,
+            options=self.options,
+            rules=rules,
+            cascade_heuristics=cascade_heuristics,
+        )
+        if reporter is None:
+            reporter = ShortReporter() if self.options.short_format else LintReporter()
+        self.reporter = reporter
+
+    # -- checking -----------------------------------------------------------------
+
+    def check_string(self, source: str, filename: str = "-") -> list[Diagnostic]:
+        """Check HTML given as a string."""
+        context = self._engine.check(source, filename)
+        return context.sorted_diagnostics()
+
+    def check_file(self, path: Union[str, Path]) -> list[Diagnostic]:
+        """Check one HTML file on disk."""
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as exc:
+            raise WeblintError(f"cannot read {path}: {exc}") from exc
+        return self.check_string(source, filename=str(path))
+
+    def check_url(self, url: str, agent=None) -> list[Diagnostic]:
+        """Fetch a URL with ``agent`` and check the response body.
+
+        ``agent`` is any object with ``get(url) -> response`` where the
+        response has ``status``, ``body`` and ``url`` attributes --
+        normally a :class:`repro.www.client.UserAgent`.
+        """
+        if agent is None:
+            # Imported lazily: the www substrate mirrors the paper's
+            # optional LWP dependency.
+            from repro.www.client import UserAgent
+
+            agent = UserAgent()
+        response = agent.get(url)
+        if not response.ok:
+            raise WeblintError(f"cannot fetch {url}: {response.status} {response.reason}")
+        return self.check_string(response.body, filename=response.url)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def report(self, diagnostics: Sequence[Diagnostic], stream=None) -> str:
+        """Format diagnostics with the configured reporter."""
+        return self.reporter.report(diagnostics, stream=stream)
+
+    def run_file(self, path: Union[str, Path], stream=None) -> list[Diagnostic]:
+        """check_file + report in one call (what the script does)."""
+        diagnostics = self.check_file(path)
+        self.report(diagnostics, stream=stream)
+        return diagnostics
+
+    # -- small conveniences --------------------------------------------------------------
+
+    @staticmethod
+    def counts(diagnostics: Sequence[Diagnostic]) -> dict[str, int]:
+        """Count diagnostics per category name."""
+        result = {category.value: 0 for category in Category}
+        for diagnostic in diagnostics:
+            result[diagnostic.category.value] += 1
+        return result
+
+    @staticmethod
+    def worst_category(diagnostics: Sequence[Diagnostic]) -> Optional[Category]:
+        for category in (Category.ERROR, Category.WARNING, Category.STYLE):
+            if any(d.category is category for d in diagnostics):
+                return category
+        return None

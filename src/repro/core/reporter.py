@@ -1,0 +1,198 @@
+"""Reporters -- the pluggable output side of ``Weblint::Warnings``.
+
+Paper section 5.6: "The warnings module can be sub-classed, and the new
+warnings class installed in Weblint.  This might change the wording of
+warnings (e.g. verbose warnings), or change the way warnings are emitted.
+The gateway script uses a subclass to provide warnings more appropriate
+to the web page context."
+
+Formats:
+
+- :class:`LintReporter` -- "the default traditional lint style of
+  messages: ``test.html(1): blah blah blah``" (section 4.2).
+- :class:`ShortReporter` -- the ``-s`` switch: ``line 1: ...``.
+- :class:`VerboseReporter` -- message id, category and help text.
+- :class:`HTMLReporter` -- the gateway subclass: warnings as an HTML list.
+- :class:`JSONReporter` -- machine-readable, for robots and CI.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import IO, Iterable, Optional
+
+from repro.core.diagnostics import Diagnostic
+from repro.core.messages import message
+
+
+class Reporter:
+    """Base reporter: format one diagnostic, or report a whole list."""
+
+    name = "base"
+
+    def format(self, diagnostic: Diagnostic) -> str:
+        raise NotImplementedError
+
+    def header(self) -> str:
+        return ""
+
+    def footer(self, diagnostics: list[Diagnostic]) -> str:
+        return ""
+
+    def report(
+        self,
+        diagnostics: Iterable[Diagnostic],
+        stream: Optional[IO[str]] = None,
+    ) -> str:
+        """Render all diagnostics; write to ``stream`` if given."""
+        items = list(diagnostics)
+        parts: list[str] = []
+        head = self.header()
+        if head:
+            parts.append(head)
+        parts.extend(self.format(d) for d in items)
+        foot = self.footer(items)
+        if foot:
+            parts.append(foot)
+        text = "\n".join(parts)
+        if stream is not None and text:
+            stream.write(text + "\n")
+        return text
+
+
+class LintReporter(Reporter):
+    """Traditional lint format: ``file(line): message``."""
+
+    name = "lint"
+
+    def format(self, diagnostic: Diagnostic) -> str:
+        return f"{diagnostic.filename}({diagnostic.line}): {diagnostic.text}"
+
+
+class ShortReporter(Reporter):
+    """The ``-s`` format shown in the paper: ``line N: message``."""
+
+    name = "short"
+
+    def format(self, diagnostic: Diagnostic) -> str:
+        return f"line {diagnostic.line}: {diagnostic.text}"
+
+
+class VerboseReporter(Reporter):
+    """Message id + category + description, for learning HTML."""
+
+    name = "verbose"
+
+    def format(self, diagnostic: Diagnostic) -> str:
+        lines = [
+            f"{diagnostic.filename}({diagnostic.line}): "
+            f"[{diagnostic.category.value}/{diagnostic.message_id}] "
+            f"{diagnostic.text}"
+        ]
+        description = message(diagnostic.message_id).description
+        if description:
+            lines.append(f"    {description}")
+        return "\n".join(lines)
+
+    def footer(self, diagnostics: list[Diagnostic]) -> str:
+        if not diagnostics:
+            return ""
+        by_category: dict[str, int] = {}
+        for diagnostic in diagnostics:
+            key = diagnostic.category.value
+            by_category[key] = by_category.get(key, 0) + 1
+        summary = ", ".join(
+            f"{count} {name}{'s' if count != 1 else ''}"
+            for name, count in sorted(by_category.items())
+        )
+        return f"{len(diagnostics)} message(s): {summary}"
+
+
+class HTMLReporter(Reporter):
+    """Warnings as an HTML fragment, for embedding by the gateway.
+
+    Produces a ``<ul class="weblint-report">`` with one ``<li>`` per
+    diagnostic, classed by category so gateways can style them.
+    """
+
+    name = "html"
+
+    def report(
+        self,
+        diagnostics: Iterable[Diagnostic],
+        stream: Optional[IO[str]] = None,
+    ) -> str:
+        items = list(diagnostics)
+        if not items:
+            # No empty <ul>: the report page must itself lint clean.
+            text = "<p>No problems found - nice page!</p>"
+            if stream is not None:
+                stream.write(text + "\n")
+            return text
+        return super().report(items, stream=stream)
+
+    def header(self) -> str:
+        return '<ul class="weblint-report">'
+
+    def format(self, diagnostic: Diagnostic) -> str:
+        text = _html.escape(diagnostic.text)
+        return (
+            f'  <li class="weblint-{diagnostic.category.value}">'
+            f"<b>line {diagnostic.line}</b>: {text}</li>"
+        )
+
+    def footer(self, diagnostics: list[Diagnostic]) -> str:
+        return f"</ul>\n<p>{len(diagnostics)} problem(s) found.</p>"
+
+
+class JSONReporter(Reporter):
+    """One JSON object per run: machine-readable output."""
+
+    name = "json"
+
+    def format(self, diagnostic: Diagnostic) -> str:  # pragma: no cover
+        return json.dumps(self._as_dict(diagnostic))
+
+    @staticmethod
+    def _as_dict(diagnostic: Diagnostic) -> dict[str, object]:
+        return {
+            "id": diagnostic.message_id,
+            "category": diagnostic.category.value,
+            "file": diagnostic.filename,
+            "line": diagnostic.line,
+            "column": diagnostic.column,
+            "message": diagnostic.text,
+        }
+
+    def report(
+        self,
+        diagnostics: Iterable[Diagnostic],
+        stream: Optional[IO[str]] = None,
+    ) -> str:
+        payload = json.dumps(
+            [self._as_dict(d) for d in diagnostics], indent=2
+        )
+        if stream is not None:
+            stream.write(payload + "\n")
+        return payload
+
+
+_REPORTERS = {
+    cls.name: cls
+    for cls in (LintReporter, ShortReporter, VerboseReporter, HTMLReporter, JSONReporter)
+}
+
+
+def get_reporter(name: str) -> Reporter:
+    """Instantiate a reporter by name ('lint', 'short', 'verbose', ...)."""
+    try:
+        return _REPORTERS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown reporter {name!r}; available: {', '.join(sorted(_REPORTERS))}"
+        ) from None
+
+
+def available_reporters() -> list[str]:
+    return sorted(_REPORTERS)

@@ -1,0 +1,50 @@
+"""Per-concern check rules.
+
+Each module contributes one or more :class:`~repro.core.rules.base.Rule`
+subclasses; :func:`default_rules` instantiates the standard set in a
+stable order.  The stack mechanics themselves live in
+:mod:`repro.core.engine` -- rules receive the token stream plus stack
+events and look things up in the shared :class:`~repro.core.context.CheckContext`.
+"""
+
+from repro.core.rules.base import Rule
+
+from repro.core.rules.anchors import AnchorRule
+from repro.core.rules.attributes import AttributeRule
+from repro.core.rules.comments import CommentRule
+from repro.core.rules.document import DocumentRule
+from repro.core.rules.forms import FormRule
+from repro.core.rules.headings import HeadingRule
+from repro.core.rules.inline import InlineConfigRule
+from repro.core.rules.images import ImageRule
+from repro.core.rules.style import StyleRule
+from repro.core.rules.tables import TableRule
+from repro.core.rules.text import TextRule
+
+
+def _plugin_rule():
+    # Imported lazily: the plugins package imports rule base classes from
+    # this package's modules.
+    from repro.plugins.base import PluginRule
+
+    return PluginRule()
+
+__all__ = ["Rule", "default_rules"]
+
+
+def default_rules() -> list[Rule]:
+    """The standard rule set, in evaluation order."""
+    return [
+        InlineConfigRule(),   # first: directives affect everything after
+        DocumentRule(),
+        AttributeRule(),
+        ImageRule(),
+        AnchorRule(),
+        HeadingRule(),
+        CommentRule(),
+        TextRule(),
+        TableRule(),
+        FormRule(),
+        StyleRule(),
+        _plugin_rule(),
+    ]

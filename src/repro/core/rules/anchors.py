@@ -1,0 +1,104 @@
+"""Anchor checks.
+
+- ``here-anchor``: 'Use of "here" and other content-free text within
+  anchors (as in "click here to read more about crêpes").  One motivation
+  to fix these is that many search engines will use anchor text'
+  (section 4.3, style).  The word list is configurable -- the paper's
+  future-work section asks for "additional examples of content-free
+  text".
+- ``mailto-link``: mailto anchors whose text hides the address.
+- ``heading-in-anchor``: a heading inside an anchor should be an anchor
+  inside a heading.
+- ``expected-attribute``: an A element with neither HREF nor NAME.
+- ``container-whitespace``: leading/trailing whitespace inside the
+  anchor, which some browsers underline.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.context import CheckContext, OpenElement
+from repro.core.rules.base import Rule
+from repro.html.spec import ElementDef
+from repro.html.tokens import EndTag, StartTag
+
+_HEADINGS = frozenset({"h1", "h2", "h3", "h4", "h5", "h6"})
+_PUNCTUATION = re.compile(r"[\s!\"#$%&'()*+,./:;<=>?@\[\]^_`{|}~-]+")
+
+
+def normalise_anchor_text(text: str) -> str:
+    """Lower-case, squeeze whitespace and strip surrounding punctuation."""
+    squeezed = " ".join(text.split()).lower()
+    return squeezed.strip(" !\"#$%&'()*+,./:;<=>?@[]^_`{|}~-")
+
+
+class AnchorRule(Rule):
+    name = "anchors"
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        name = tag.lowered
+        if name in _HEADINGS:
+            # The anchor is still on the stack when the heading starts.
+            if context.in_element("a"):
+                context.emit(
+                    "heading-in-anchor", line=tag.line, heading=tag.name.upper()
+                )
+            return
+        if name != "a":
+            return
+        if not (
+            tag.has_attribute("href")
+            or tag.has_attribute("name")
+            or tag.has_attribute("id")
+        ):
+            context.emit(
+                "expected-attribute",
+                line=tag.line,
+                element="A",
+                expected="HREF or NAME",
+            )
+
+    def handle_element_closed(
+        self,
+        context: CheckContext,
+        open_element: OpenElement,
+        end_tag: Optional[EndTag],
+        implicit: bool,
+    ) -> None:
+        if open_element.name != "a":
+            return
+        raw_text = open_element.text
+        text = normalise_anchor_text(raw_text)
+        line = open_element.line
+
+        if text and text in context.options.here_words():
+            context.emit("here-anchor", line=line, text=text)
+
+        href_attr = open_element.tag.get("href")
+        if href_attr is not None and href_attr.value.lower().startswith("mailto:"):
+            address = href_attr.value[len("mailto:"):].strip().lower()
+            if address and address not in raw_text.lower():
+                context.emit("mailto-link", line=line, href=href_attr.value)
+
+        if raw_text.strip():
+            if raw_text[:1].isspace():
+                context.emit(
+                    "container-whitespace",
+                    line=line,
+                    position="leading",
+                    element="A",
+                )
+            if raw_text[-1:].isspace():
+                context.emit(
+                    "container-whitespace",
+                    line=line,
+                    position="trailing",
+                    element="A",
+                )

@@ -1,0 +1,76 @@
+"""Rule base class and hook protocol.
+
+A rule is a stateless-by-default visitor over the token stream and the
+structural events the engine derives from it.  All state a rule needs
+across events should live either in instance attributes reset in
+:meth:`Rule.start_document` or in ``context.scratch``.
+
+Hook order for one document::
+
+    start_document
+      (per token, in document order)
+      handle_start_tag / handle_end_tag / handle_text /
+      handle_comment / handle_declaration
+      handle_element_closed        # after the stack pops an element
+    end_document
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import CheckContext, OpenElement
+from repro.html.spec import ElementDef
+from repro.html.tokens import Comment, Declaration, EndTag, StartTag, Text
+
+
+class Rule:
+    """Base class: all hooks are no-ops; override what you need."""
+
+    #: Stable identifier used in scratch keys and debugging output.
+    name = "rule"
+
+    def start_document(self, context: CheckContext) -> None:
+        """Called once before any token."""
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        """Called for every start tag.
+
+        ``elem`` is the element definition in the active spec, or ``None``
+        for unknown/custom elements (the engine has already reported
+        unknown elements by the time rules run).
+        """
+
+    def handle_end_tag(self, context: CheckContext, tag: EndTag) -> None:
+        """Called for every end tag, before the stack is adjusted."""
+
+    def handle_element_closed(
+        self,
+        context: CheckContext,
+        open_element: OpenElement,
+        end_tag: Optional[EndTag],
+        implicit: bool,
+    ) -> None:
+        """Called when an element leaves the stack.
+
+        ``end_tag`` is the tag that caused the close (``None`` at end of
+        document); ``implicit`` is True when the element was closed by
+        something other than its own end tag.
+        """
+
+    def handle_text(self, context: CheckContext, token: Text) -> None:
+        """Called for every text run."""
+
+    def handle_comment(self, context: CheckContext, token: Comment) -> None:
+        """Called for every comment."""
+
+    def handle_declaration(self, context: CheckContext, token: Declaration) -> None:
+        """Called for every ``<!...>`` declaration."""
+
+    def end_document(self, context: CheckContext) -> None:
+        """Called once after the last token and final stack unwind."""

@@ -1,0 +1,31 @@
+"""Comment checks.
+
+Paper section 4.3 (warnings): "It is perfectly legal to comment-out
+markup, but this can be incorrectly parsed by parsers, particularly those
+of the quick and dirty kind."  Plus nested and unterminated comments.
+The lexical detection lives in the tokenizer; this rule only translates
+the flags into configured messages.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import CheckContext
+from repro.core.rules.base import Rule
+from repro.html.tokens import Comment, LexicalIssue
+
+
+class CommentRule(Rule):
+    name = "comments"
+
+    def handle_comment(self, context: CheckContext, token: Comment) -> None:
+        if token.has_issue(LexicalIssue.UNTERMINATED_COMMENT):
+            context.emit(
+                "unclosed-comment", line=context.last_line, open_line=token.line
+            )
+            # An unterminated comment swallowed the rest of the file;
+            # further messages about its "content" would be a cascade.
+            return
+        if token.has_issue(LexicalIssue.NESTED_COMMENT):
+            context.emit("nested-comment", line=token.line)
+        if token.has_issue(LexicalIssue.MARKUP_IN_COMMENT):
+            context.emit("markup-in-comment", line=token.line)

@@ -1,0 +1,99 @@
+"""Document-level checks.
+
+Covers the paper's whole-document messages: the DOCTYPE check that leads
+the section 4.2 example output, the outer ``<HTML>`` wrapper, the required
+``<TITLE>``, title length, and the weblint-2 additions for search-engine
+meta information, authorship LINK and NOFRAMES content.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import CheckContext, OpenElement
+from repro.core.rules.base import Rule
+from repro.html.spec import ElementDef
+from repro.html.tokens import EndTag, StartTag
+
+
+class DocumentRule(Rule):
+    name = "document"
+
+    def start_document(self, context: CheckContext) -> None:
+        self._doctype_checked = False
+        self._seen_meta_description = False
+        self._seen_link_rev_made = False
+        self._frameset_line: Optional[int] = None
+        self._seen_noframes = False
+
+    # -- per-tag tracking ---------------------------------------------------
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        if not self._doctype_checked:
+            self._doctype_checked = True
+            if not context.seen_doctype:
+                context.emit("require-doctype", line=tag.line)
+
+        name = tag.lowered
+        if name == "meta":
+            meta_name = tag.get("name")
+            if meta_name is not None and meta_name.value.lower() in (
+                "description",
+                "keywords",
+            ):
+                self._seen_meta_description = True
+        elif name == "link":
+            rev = tag.get("rev")
+            if rev is not None and rev.value.lower() == "made":
+                self._seen_link_rev_made = True
+        elif name == "frameset" and self._frameset_line is None:
+            self._frameset_line = tag.line
+        elif name == "noframes":
+            self._seen_noframes = True
+
+    def handle_element_closed(
+        self,
+        context: CheckContext,
+        open_element: OpenElement,
+        end_tag: Optional[EndTag],
+        implicit: bool,
+    ) -> None:
+        if open_element.name != "title":
+            return
+        title = open_element.text.strip()
+        if title and len(title) > context.options.max_title_length:
+            line = end_tag.line if end_tag is not None else open_element.line
+            context.emit(
+                "title-length",
+                line=line,
+                length=len(title),
+                limit=context.options.max_title_length,
+            )
+        if context.title_text is None:
+            context.title_text = title
+
+    # -- end of document -----------------------------------------------------
+
+    def end_document(self, context: CheckContext) -> None:
+        if not context.seen_any_element:
+            return
+        if (
+            context.first_element_name != "html"
+            or context.last_end_tag_name != "html"
+        ):
+            context.emit("html-outer", line=1)
+        if not context.seen_title:
+            context.emit(
+                "require-title", line=context.history.get("head", 1)
+            )
+        if self._frameset_line is not None and not self._seen_noframes:
+            context.emit("frame-noframes", line=self._frameset_line)
+        if not self._seen_meta_description:
+            context.emit("meta-description", line=1)
+        if not self._seen_link_rev_made:
+            context.emit("link-rev-made", line=1)

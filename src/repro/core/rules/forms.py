@@ -1,0 +1,49 @@
+"""Form checks.
+
+``form-label`` (weblint 2, off by default; on in the ``accessibility``
+preset): visible form controls should be associated with a LABEL, either
+by enclosure or by id.  Hidden fields and push buttons label themselves
+and are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import CheckContext
+from repro.core.rules.base import Rule
+from repro.html.spec import ElementDef
+from repro.html.tokens import StartTag
+
+_SELF_LABELLING_INPUTS = frozenset(
+    {"hidden", "submit", "reset", "button", "image"}
+)
+_CONTROLS = frozenset({"input", "select", "textarea"})
+
+
+class FormRule(Rule):
+    name = "forms"
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        name = tag.lowered
+        if name not in _CONTROLS:
+            return
+        if name == "input":
+            input_type = tag.get("type")
+            if (
+                input_type is not None
+                and input_type.value.lower() in _SELF_LABELLING_INPUTS
+            ):
+                return
+        if context.in_element("label"):
+            return
+        if tag.has_attribute("id"):
+            # A LABEL FOR=... elsewhere may reference it; give the benefit
+            # of the doubt rather than cross-reference the whole document.
+            return
+        context.emit("form-label", line=tag.line, element=tag.name.upper())

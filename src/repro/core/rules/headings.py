@@ -1,0 +1,42 @@
+"""Heading order check.
+
+``heading-order`` warns when a document skips heading levels (an H4
+directly after an H1): the document outline no longer reflects the
+content structure, which hurts navigation and automatic processing.
+Going *up* any number of levels (H4 back to H1) is fine -- that is how
+sections end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import CheckContext
+from repro.core.rules.base import Rule
+from repro.html.spec import ElementDef
+from repro.html.tokens import StartTag
+
+_HEADINGS = {"h1": 1, "h2": 2, "h3": 3, "h4": 4, "h5": 5, "h6": 6}
+
+
+class HeadingRule(Rule):
+    name = "headings"
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        level = _HEADINGS.get(tag.lowered)
+        if level is None:
+            return
+        previous = context.last_heading_level
+        if previous is not None and level > previous + 1:
+            context.emit(
+                "heading-order",
+                line=tag.line,
+                level=level,
+                previous=previous,
+            )
+        context.last_heading_level = level

@@ -1,0 +1,80 @@
+"""Page-specific configuration embedded in comments.
+
+Paper section 6.1 (future plans): "Page-specific configuration of
+weblint: configuration information embedded in comments, which
+traditional lint supports [11]."
+
+Syntax -- one or more ``;``-separated directives inside a comment whose
+body starts with ``weblint:``::
+
+    <!-- weblint: disable here-anchor, img-alt -->
+    <!-- weblint: enable physical-font -->
+    <!-- weblint: push; disable all -->
+    ... machine-generated markup nobody will fix ...
+    <!-- weblint: pop -->
+
+``enable``/``disable`` take message ids or category names and apply from
+the comment onward; ``push``/``pop`` scope a block of overrides.  Unknown
+identifiers are ignored (a lint must not die because of a stale
+directive), as is a ``pop`` with nothing pushed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.config.options import UnknownMessageError
+from repro.core.context import CheckContext
+from repro.core.rules.base import Rule
+from repro.html.tokens import Comment
+
+DIRECTIVE_PREFIX = re.compile(r"^\s*weblint:\s*(.*)$", re.IGNORECASE | re.DOTALL)
+
+
+def parse_directives(comment_body: str) -> list[tuple[str, list[str]]] | None:
+    """Parse a comment body; None when it is not a weblint directive.
+
+    Returns ``(verb, arguments)`` pairs, e.g.
+    ``[("push", []), ("disable", ["all"])]``.
+    """
+    match = DIRECTIVE_PREFIX.match(comment_body)
+    if match is None:
+        return None
+    directives: list[tuple[str, list[str]]] = []
+    for clause in match.group(1).split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.replace(",", " ").split()
+        verb = parts[0].lower()
+        directives.append((verb, [part.lower() for part in parts[1:]]))
+    return directives
+
+
+class InlineConfigRule(Rule):
+    """Applies ``<!-- weblint: ... -->`` directives as they stream past."""
+
+    name = "inline-config"
+
+    def handle_comment(self, context: CheckContext, token: Comment) -> None:
+        directives = parse_directives(token.text)
+        if directives is None:
+            return
+        for verb, arguments in directives:
+            if verb == "push":
+                context.push_enabled()
+            elif verb == "pop":
+                context.pop_enabled()
+            elif verb in ("enable", "disable"):
+                try:
+                    if verb == "enable":
+                        context.enable_inline(arguments)
+                    else:
+                        context.disable_inline(arguments)
+                except UnknownMessageError:
+                    pass  # stale directive: ignore, never crash
+            # Unknown verbs are ignored for forward compatibility.
+
+
+def is_directive_comment(comment_body: str) -> bool:
+    return parse_directives(comment_body) is not None

@@ -1,0 +1,87 @@
+"""Style checks.
+
+- ``physical-font``: "Use of physical markup (e.g. <B>) rather than
+  logical markup (e.g. <STRONG>)" -- paper section 4.3, style examples.
+- ``deprecated-element``: LISTING instead of PRE et al. (section 4.3,
+  warnings).
+- ``upper-case`` / ``lower-case``: house tag-name case style; each is off
+  by default and enabling one selects the style.
+- ``body-colors``: setting some of the BODY colour attributes but not all
+  risks clashing with user-configured defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import CheckContext
+from repro.core.rules.base import Rule
+from repro.html.spec import ElementDef
+from repro.html.tokens import EndTag, StartTag
+
+_BODY_COLOR_ATTRIBUTES = ("bgcolor", "text", "link", "vlink", "alink")
+
+
+class StyleRule(Rule):
+    name = "style"
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        name = tag.lowered
+
+        logical = context.spec.physical_markup.get(name)
+        if logical is not None:
+            context.emit(
+                "physical-font",
+                line=tag.line,
+                element=tag.name.upper(),
+                logical=logical.upper(),
+            )
+
+        if elem is not None and elem.deprecated:
+            replacement = ""
+            if elem.replacement:
+                replacement = f" - use <{elem.replacement.upper()}> instead"
+            context.emit(
+                "deprecated-element",
+                line=tag.line,
+                element=tag.name.upper(),
+                replacement=replacement,
+            )
+
+        self._check_case(context, tag.name, tag.line)
+
+        if name == "body":
+            self._check_body_colors(context, tag)
+
+    def handle_end_tag(self, context: CheckContext, tag: EndTag) -> None:
+        self._check_case(context, tag.name, tag.line)
+
+    def _check_case(self, context: CheckContext, name: str, line: int) -> None:
+        style = context.options.case_style
+        if not name:
+            return
+        if style == "upper" and name != name.upper():
+            context.emit("upper-case", line=line, element=name)
+        elif style == "lower" and name != name.lower():
+            context.emit("lower-case", line=line, element=name)
+
+    def _check_body_colors(self, context: CheckContext, tag: StartTag) -> None:
+        present = [
+            attr for attr in _BODY_COLOR_ATTRIBUTES if tag.has_attribute(attr)
+        ]
+        if not present or len(present) == len(_BODY_COLOR_ATTRIBUTES):
+            return
+        missing = [
+            attr for attr in _BODY_COLOR_ATTRIBUTES if not tag.has_attribute(attr)
+        ]
+        context.emit(
+            "body-colors",
+            line=tag.line,
+            attribute=", ".join(attr.upper() for attr in present),
+            missing=", ".join(attr.upper() for attr in missing),
+        )

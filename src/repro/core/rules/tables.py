@@ -1,0 +1,36 @@
+"""Table checks.
+
+``table-summary`` is the accessibility check the paper attributes to
+Bobby (section 3.3): "summary annotations can be added to tables, which
+is useful for users with speech generating clients".  Off by default, on
+in the ``accessibility`` preset.
+
+The structural table checks (TD outside TR, TR outside TABLE...) are
+content-model facts and therefore handled by the engine's context checks;
+this rule only carries the advisory extras.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import CheckContext
+from repro.core.rules.base import Rule
+from repro.html.spec import ElementDef
+from repro.html.tokens import StartTag
+
+
+class TableRule(Rule):
+    name = "tables"
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        if tag.lowered != "table":
+            return
+        summary = tag.get("summary")
+        if summary is None or not summary.value.strip():
+            context.emit("table-summary", line=tag.line)

@@ -1,0 +1,105 @@
+"""CGI form decoding, from scratch.
+
+Implements ``application/x-www-form-urlencoded`` parsing (percent
+decoding, ``+`` as space, repeated keys) -- the input side of a CGI
+gateway.  No :mod:`urllib` involved, so the behaviour is wholly specified
+and property-tested here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_HEX = "0123456789abcdefABCDEF"
+
+
+def percent_decode(text: str, plus_as_space: bool = True) -> str:
+    """Decode %XX escapes (and optionally '+' as space)."""
+    out: list[str] = []
+    index = 0
+    length = len(text)
+    pending = bytearray()
+
+    def flush() -> None:
+        if pending:
+            out.append(pending.decode("utf-8", errors="replace"))
+            pending.clear()
+
+    while index < length:
+        char = text[index]
+        if char == "%" and index + 2 < length + 1:
+            hex_pair = text[index + 1 : index + 3]
+            if len(hex_pair) == 2 and all(c in _HEX for c in hex_pair):
+                pending.append(int(hex_pair, 16))
+                index += 3
+                continue
+        flush()
+        if char == "+" and plus_as_space:
+            out.append(" ")
+        else:
+            out.append(char)
+        index += 1
+    flush()
+    return "".join(out)
+
+
+def percent_encode(text: str, safe: str = "-._~") -> str:
+    """Encode for a query string (space becomes '+')."""
+    out: list[str] = []
+    for byte in text.encode("utf-8"):
+        char = chr(byte)
+        if char.isalnum() and char.isascii() or char in safe:
+            out.append(char)
+        elif char == " ":
+            out.append("+")
+        else:
+            out.append(f"%{byte:02X}")
+    return "".join(out)
+
+
+@dataclass
+class FormData:
+    """Parsed form fields; repeated names keep every value."""
+
+    fields: dict[str, list[str]] = field(default_factory=dict)
+
+    def get(self, name: str, default: str = "") -> str:
+        values = self.fields.get(name)
+        return values[0] if values else default
+
+    def get_all(self, name: str) -> list[str]:
+        return list(self.fields.get(name, []))
+
+    def __contains__(self, name: str) -> bool:
+        return bool(self.fields.get(name))
+
+    def add(self, name: str, value: str) -> None:
+        self.fields.setdefault(name, []).append(value)
+
+
+def parse_query_string(query: str) -> FormData:
+    """Parse ``a=1&b=two+words&b=3`` into a :class:`FormData`."""
+    form = FormData()
+    if query.startswith("?"):
+        query = query[1:]
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name, sep, value = pair.partition("=")
+        name = percent_decode(name)
+        value = percent_decode(value) if sep else ""
+        form.add(name, value)
+    return form
+
+
+def parse_form(body: str) -> FormData:
+    """Parse a POSTed urlencoded body (same syntax as a query string)."""
+    return parse_query_string(body)
+
+
+def encode_form(fields: dict[str, str]) -> str:
+    """Inverse of :func:`parse_query_string` for single-valued fields."""
+    return "&".join(
+        f"{percent_encode(name)}={percent_encode(value)}"
+        for name, value in fields.items()
+    )

@@ -1,0 +1,170 @@
+"""The gateway proper: one form submission in, one HTML report out.
+
+Form fields (mirroring the classic weblint gateways):
+
+``url``
+    Fetch this URL (through the gateway's :class:`UserAgent`) and check it.
+``html``
+    Pasted HTML to check directly.
+``upload``
+    Uploaded file content (treated like ``html`` but named).
+``spec``
+    HTML version to check against (``html40``, ``html32``, ``netscape``...).
+``pedantic``
+    Any non-empty value enables every message.
+``enable`` / ``disable``
+    Repeatable message ids or categories.
+
+Exactly one of ``url``/``html``/``upload`` must be supplied.  The
+response embeds the weblint warnings into a generated page -- via an
+:class:`~repro.core.reporter.HTMLReporter` subclass, the customisation
+hook the paper calls out in section 5.6 -- along with the WebTechs-style
+page-weight table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.options import Options, UnknownMessageError
+from repro.config.presets import apply_preset
+from repro.core.diagnostics import Diagnostic
+from repro.core.linter import Weblint, WeblintError
+from repro.core.reporter import HTMLReporter
+from repro.gateway.forms import FormData
+from repro.gateway.htmlreport import (
+    escape,
+    estimate_page_weight,
+    render_page,
+    render_table,
+)
+from repro.www.client import FetchError, UserAgent
+
+
+class GatewayReporter(HTMLReporter):
+    """The gateway's warnings subclass (paper section 5.6).
+
+    Adds a category legend suited to the web page context and links each
+    message id to an explanation anchor.
+    """
+
+    name = "gateway"
+
+    def format(self, diagnostic: Diagnostic) -> str:
+        text = escape(diagnostic.text)
+        category = diagnostic.category.value
+        return (
+            f'  <li class="weblint-{category}">'
+            f"[{category}] <b>line {diagnostic.line}</b>: {text} "
+            f'<a href="#msg-{diagnostic.message_id}">({diagnostic.message_id})</a>'
+            f"</li>"
+        )
+
+
+@dataclass
+class GatewayResponse:
+    """What the gateway hands back to its web server."""
+
+    status: int
+    body: str
+    content_type: str = "text/html"
+
+    def as_cgi(self) -> str:
+        """Render with the CGI header block."""
+        return (
+            f"Status: {self.status}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"\r\n{self.body}"
+        )
+
+
+class Gateway:
+    """Handle weblint gateway form submissions."""
+
+    def __init__(
+        self,
+        agent: Optional[UserAgent] = None,
+        reporter: Optional[HTMLReporter] = None,
+    ) -> None:
+        self.agent = agent
+        self.reporter = reporter if reporter is not None else GatewayReporter()
+
+    # -- request handling -----------------------------------------------------------
+
+    def handle(self, form: FormData) -> GatewayResponse:
+        """Process one submission."""
+        sources = [name for name in ("url", "html", "upload") if name in form]
+        if len(sources) != 1:
+            return self._error(
+                400,
+                "Provide exactly one of: a URL, pasted HTML, or an uploaded file.",
+            )
+
+        try:
+            options = self._build_options(form)
+        except (UnknownMessageError, ValueError, KeyError) as exc:
+            return self._error(400, f"Bad options: {exc}")
+
+        weblint = Weblint(options=options)
+        source_kind = sources[0]
+        label = "pasted HTML"
+        try:
+            if source_kind == "url":
+                url = form.get("url")
+                label = url
+                diagnostics = weblint.check_url(url, agent=self.agent)
+                body = self.agent.get(url).body if self.agent else ""
+            else:
+                body = form.get(source_kind)
+                if source_kind == "upload":
+                    label = form.get("filename", "uploaded file")
+                diagnostics = weblint.check_string(body, filename=label)
+        except (WeblintError, FetchError) as exc:
+            return self._error(502, f"Could not fetch the page: {exc}")
+
+        return GatewayResponse(
+            status=200, body=self._render_report(label, body, diagnostics, options)
+        )
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _build_options(self, form: FormData) -> Options:
+        options = Options.with_defaults()
+        spec = form.get("spec")
+        if spec:
+            options.spec_name = spec
+        if form.get("pedantic"):
+            apply_preset(options, "pedantic")
+        preset = form.get("preset")
+        if preset:
+            apply_preset(options, preset)
+        for identifier in form.get_all("enable"):
+            options.enable(identifier)
+        for identifier in form.get_all("disable"):
+            options.disable(identifier)
+        return options
+
+    def _render_report(
+        self,
+        label: str,
+        body: str,
+        diagnostics: list[Diagnostic],
+        options: Options,
+    ) -> str:
+        fragments = [
+            f"<p>Report for <code>{escape(label)}</code> "
+            f"(checked against {escape(options.spec_name)}).</p>",
+            self.reporter.report(diagnostics),
+        ]
+        if body:
+            weight = estimate_page_weight(body)
+            fragments.append("<h2>Page weight</h2>")
+            fragments.append(render_table(weight.rows(), summary="page weight"))
+        return render_page("Weblint gateway report", fragments)
+
+    def _error(self, status: int, message: str) -> GatewayResponse:
+        return GatewayResponse(
+            status=status,
+            body=render_page("Weblint gateway error", [f"<p>{escape(message)}</p>"]),
+        )

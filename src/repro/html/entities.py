@@ -1,0 +1,192 @@
+"""Character entity references for HTML.
+
+Three tables, mirroring the three entity sets of the HTML 4.0
+specification:
+
+- ``LATIN1`` -- ISO 8859-1 characters (``&nbsp;`` ... ``&yuml;``),
+  also the set defined by HTML 3.2.
+- ``SYMBOLS`` -- mathematical, Greek and symbolic characters.
+- ``SPECIAL`` -- markup-significant and internationalisation characters
+  (``&lt;``, ``&amp;``, ``&ndash;`` ...).
+
+``ENTITIES`` is the union.  :func:`is_known_entity` also accepts numeric
+character references (``&#160;`` and ``&#xA0;``).
+
+Weblint uses these tables for its *unknown entity* warning and for
+expanding entities when inspecting text content (e.g. the "click here"
+style check should see the text a browser would render).
+"""
+
+from __future__ import annotations
+
+import re
+
+# --- HTML 2.0 / 3.2 / 4.0 Latin-1 set -----------------------------------
+
+LATIN1: dict[str, str] = {
+    "nbsp": " ", "iexcl": "¡", "cent": "¢", "pound": "£",
+    "curren": "¤", "yen": "¥", "brvbar": "¦", "sect": "§",
+    "uml": "¨", "copy": "©", "ordf": "ª", "laquo": "«",
+    "not": "¬", "shy": "­", "reg": "®", "macr": "¯",
+    "deg": "°", "plusmn": "±", "sup2": "²", "sup3": "³",
+    "acute": "´", "micro": "µ", "para": "¶", "middot": "·",
+    "cedil": "¸", "sup1": "¹", "ordm": "º", "raquo": "»",
+    "frac14": "¼", "frac12": "½", "frac34": "¾",
+    "iquest": "¿",
+    "Agrave": "À", "Aacute": "Á", "Acirc": "Â",
+    "Atilde": "Ã", "Auml": "Ä", "Aring": "Å", "AElig": "Æ",
+    "Ccedil": "Ç", "Egrave": "È", "Eacute": "É",
+    "Ecirc": "Ê", "Euml": "Ë", "Igrave": "Ì",
+    "Iacute": "Í", "Icirc": "Î", "Iuml": "Ï", "ETH": "Ð",
+    "Ntilde": "Ñ", "Ograve": "Ò", "Oacute": "Ó",
+    "Ocirc": "Ô", "Otilde": "Õ", "Ouml": "Ö", "times": "×",
+    "Oslash": "Ø", "Ugrave": "Ù", "Uacute": "Ú",
+    "Ucirc": "Û", "Uuml": "Ü", "Yacute": "Ý", "THORN": "Þ",
+    "szlig": "ß",
+    "agrave": "à", "aacute": "á", "acirc": "â",
+    "atilde": "ã", "auml": "ä", "aring": "å", "aelig": "æ",
+    "ccedil": "ç", "egrave": "è", "eacute": "é",
+    "ecirc": "ê", "euml": "ë", "igrave": "ì",
+    "iacute": "í", "icirc": "î", "iuml": "ï", "eth": "ð",
+    "ntilde": "ñ", "ograve": "ò", "oacute": "ó",
+    "ocirc": "ô", "otilde": "õ", "ouml": "ö", "divide": "÷",
+    "oslash": "ø", "ugrave": "ù", "uacute": "ú",
+    "ucirc": "û", "uuml": "ü", "yacute": "ý", "thorn": "þ",
+    "yuml": "ÿ",
+}
+
+# --- HTML 4.0 symbol set --------------------------------------------------
+
+SYMBOLS: dict[str, str] = {
+    "fnof": "ƒ",
+    "Alpha": "Α", "Beta": "Β", "Gamma": "Γ", "Delta": "Δ",
+    "Epsilon": "Ε", "Zeta": "Ζ", "Eta": "Η", "Theta": "Θ",
+    "Iota": "Ι", "Kappa": "Κ", "Lambda": "Λ", "Mu": "Μ",
+    "Nu": "Ν", "Xi": "Ξ", "Omicron": "Ο", "Pi": "Π",
+    "Rho": "Ρ", "Sigma": "Σ", "Tau": "Τ", "Upsilon": "Υ",
+    "Phi": "Φ", "Chi": "Χ", "Psi": "Ψ", "Omega": "Ω",
+    "alpha": "α", "beta": "β", "gamma": "γ", "delta": "δ",
+    "epsilon": "ε", "zeta": "ζ", "eta": "η", "theta": "θ",
+    "iota": "ι", "kappa": "κ", "lambda": "λ", "mu": "μ",
+    "nu": "ν", "xi": "ξ", "omicron": "ο", "pi": "π",
+    "rho": "ρ", "sigmaf": "ς", "sigma": "σ", "tau": "τ",
+    "upsilon": "υ", "phi": "φ", "chi": "χ", "psi": "ψ",
+    "omega": "ω", "thetasym": "ϑ", "upsih": "ϒ",
+    "piv": "ϖ",
+    "bull": "•", "hellip": "…", "prime": "′", "Prime": "″",
+    "oline": "‾", "frasl": "⁄", "weierp": "℘",
+    "image": "ℑ", "real": "ℜ", "trade": "™",
+    "alefsym": "ℵ",
+    "larr": "←", "uarr": "↑", "rarr": "→", "darr": "↓",
+    "harr": "↔", "crarr": "↵", "lArr": "⇐", "uArr": "⇑",
+    "rArr": "⇒", "dArr": "⇓", "hArr": "⇔",
+    "forall": "∀", "part": "∂", "exist": "∃", "empty": "∅",
+    "nabla": "∇", "isin": "∈", "notin": "∉", "ni": "∋",
+    "prod": "∏", "sum": "∑", "minus": "−", "lowast": "∗",
+    "radic": "√", "prop": "∝", "infin": "∞", "ang": "∠",
+    "and": "∧", "or": "∨", "cap": "∩", "cup": "∪",
+    "int": "∫", "there4": "∴", "sim": "∼", "cong": "≅",
+    "asymp": "≈", "ne": "≠", "equiv": "≡", "le": "≤",
+    "ge": "≥", "sub": "⊂", "sup": "⊃", "nsub": "⊄",
+    "sube": "⊆", "supe": "⊇", "oplus": "⊕", "otimes": "⊗",
+    "perp": "⊥", "sdot": "⋅",
+    "lceil": "⌈", "rceil": "⌉", "lfloor": "⌊",
+    "rfloor": "⌋", "lang": "〈", "rang": "〉",
+    "loz": "◊", "spades": "♠", "clubs": "♣",
+    "hearts": "♥", "diams": "♦",
+}
+
+# --- HTML 4.0 special set -------------------------------------------------
+
+SPECIAL: dict[str, str] = {
+    "quot": '"', "amp": "&", "lt": "<", "gt": ">",
+    "OElig": "Œ", "oelig": "œ", "Scaron": "Š",
+    "scaron": "š", "Yuml": "Ÿ", "circ": "ˆ",
+    "tilde": "˜",
+    "ensp": " ", "emsp": " ", "thinsp": " ",
+    "zwnj": "‌", "zwj": "‍", "lrm": "‎", "rlm": "‏",
+    "ndash": "–", "mdash": "—",
+    "lsquo": "‘", "rsquo": "’", "sbquo": "‚",
+    "ldquo": "“", "rdquo": "”", "bdquo": "„",
+    "dagger": "†", "Dagger": "‡", "permil": "‰",
+    "lsaquo": "‹", "rsaquo": "›", "euro": "€",
+}
+
+ENTITIES: dict[str, str] = {**LATIN1, **SYMBOLS, **SPECIAL}
+
+# Entities present in HTML 2.0/3.2 -- used by the HTML 3.2 spec module to
+# flag 4.0-only entities as unknown under the older language version.
+HTML32_ENTITIES: dict[str, str] = {**LATIN1, "quot": '"', "amp": "&", "lt": "<", "gt": ">"}
+
+_NUMERIC_RE = re.compile(r"^#(?:[0-9]+|[xX][0-9a-fA-F]+)$")
+
+ENTITY_REF_RE = re.compile(
+    r"&(#[0-9]+|#[xX][0-9a-fA-F]+|[A-Za-z][A-Za-z0-9]*)(;?)"
+)
+
+
+def is_known_entity(name: str, known: dict[str, str] | None = None) -> bool:
+    """True if ``name`` (without ``&``/``;``) is a known character reference.
+
+    Numeric references are accepted when they decode to a valid code point.
+    """
+    if _NUMERIC_RE.match(name):
+        try:
+            decode_numeric(name)
+        except ValueError:
+            return False
+        return True
+    table = ENTITIES if known is None else known
+    return name in table
+
+
+def decode_numeric(name: str) -> str:
+    """Decode ``#65`` or ``#x41`` to the character it names.
+
+    Raises ``ValueError`` for out-of-range code points.
+    """
+    if name.startswith(("#x", "#X")):
+        codepoint = int(name[2:], 16)
+    elif name.startswith("#"):
+        codepoint = int(name[1:])
+    else:
+        raise ValueError(f"not a numeric character reference: {name!r}")
+    if not 0 <= codepoint <= 0x10FFFF or 0xD800 <= codepoint <= 0xDFFF:
+        raise ValueError(f"code point out of range: {codepoint}")
+    return chr(codepoint)
+
+
+def expand(text: str, known: dict[str, str] | None = None) -> str:
+    """Expand character references in ``text``.
+
+    Unknown references are left verbatim, matching lenient browser
+    behaviour; weblint inspects rendered-ish text for style checks but
+    must never lose information.
+    """
+    table = ENTITIES if known is None else known
+
+    def _sub(match: re.Match[str]) -> str:
+        name = match.group(1)
+        if name.startswith("#"):
+            try:
+                return decode_numeric(name)
+            except ValueError:
+                return match.group(0)
+        return table.get(name, match.group(0))
+
+    return ENTITY_REF_RE.sub(_sub, text)
+
+
+def find_references(text: str) -> list[tuple[str, int, bool, bool]]:
+    """Find entity references in a text run.
+
+    Returns ``(name, offset, known, terminated)`` tuples where ``offset``
+    is the character offset of the ``&`` within ``text`` and ``terminated``
+    says whether the reference ended with ``;``.
+    """
+    found: list[tuple[str, int, bool, bool]] = []
+    for match in ENTITY_REF_RE.finditer(text):
+        name = match.group(1)
+        terminated = match.group(2) == ";"
+        found.append((name, match.start(), is_known_entity(name), terminated))
+    return found

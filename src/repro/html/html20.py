@@ -1,0 +1,114 @@
+"""HTML 2.0 (RFC 1866) language definition.
+
+The vintage weblint 1 grew up on.  Derived from HTML 3.2 by subtraction:
+no tables, no applets, no FONT/CENTER presentation markup, no image
+alignment extensions -- but with the 2.0-era elements (XMP, LISTING) as
+first-class citizens rather than obsolete ones, since RFC 1866 still
+defined them (deprecated but legal).
+
+Useful both as a checking target for very old documents and as the
+far end of the E11 version-sweep.
+"""
+
+from __future__ import annotations
+
+from repro.html import entities
+from repro.html.html32 import build_html32
+from repro.html.spec import AttributeDef, ElementDef, HTMLSpec, register_spec
+
+#: Elements introduced after HTML 2.0.
+POST_20_ELEMENTS = frozenset(
+    {
+        "applet", "area", "basefont", "big", "caption", "center",
+        "div", "font", "map", "param", "script", "small", "strike",
+        "style", "sub", "sup", "table", "td", "th", "tr", "u",
+    }
+)
+
+#: Attributes introduced after HTML 2.0, removed wholesale.
+POST_20_ATTRIBUTES = frozenset(
+    {
+        "align", "alink", "background", "bgcolor", "border", "color",
+        "compact", "height", "hspace", "link", "noshade", "nowrap",
+        "prompt", "size", "start", "target", "text", "type", "usemap",
+        "vlink", "vspace", "width", "clear", "face",
+    }
+)
+
+#: (element, attribute) pairs HTML 2.0 did define despite the list above.
+KEEP_20 = frozenset(
+    {
+        ("dl", "compact"),
+        ("ol", "compact"),
+        ("ul", "compact"),
+        ("dir", "compact"),
+        ("menu", "compact"),
+        ("isindex", "prompt"),
+        ("img", "align"),
+        ("input", "type"),
+        ("input", "size"),
+        ("select", "size"),
+        ("pre", "width"),
+    }
+)
+
+
+def _strip(elem: ElementDef) -> ElementDef:
+    kept: dict[str, AttributeDef] = {
+        name: attr
+        for name, attr in elem.attributes.items()
+        if name not in POST_20_ATTRIBUTES or (elem.name, name) in KEEP_20
+    }
+    allowed_in = elem.allowed_in
+    if allowed_in is not None:
+        allowed_in = frozenset(allowed_in - POST_20_ELEMENTS) or None
+    return ElementDef(
+        name=elem.name,
+        empty=elem.empty,
+        optional_end=elem.optional_end,
+        attributes=kept,
+        allowed_in=allowed_in,
+        excludes=frozenset(elem.excludes - POST_20_ELEMENTS),
+        closes=frozenset(elem.closes - POST_20_ELEMENTS),
+        deprecated=elem.deprecated,
+        obsolete=elem.obsolete,
+        replacement=elem.replacement,
+        is_block=elem.is_block,
+        is_head=elem.is_head,
+        once_per_document=elem.once_per_document,
+    )
+
+
+def build_html20() -> HTMLSpec:
+    base = build_html32()
+    elements = {
+        name: _strip(elem)
+        for name, elem in base.elements.items()
+        if name not in POST_20_ELEMENTS
+    }
+    # XMP and LISTING are deprecated-but-defined in RFC 1866, not obsolete.
+    for name in ("xmp", "listing"):
+        if name in elements:
+            elements[name].obsolete = False
+            elements[name].deprecated = True
+            elements[name].replacement = "pre"
+    # IMG ALT existed from the start, advisory as in 3.2 (handled by the
+    # img-alt message, not required-attribute).
+    return HTMLSpec(
+        name="html20",
+        version="HTML 2.0 (RFC 1866)",
+        elements=elements,
+        global_attributes={},
+        entities=dict(entities.HTML32_ENTITIES),
+        physical_markup={
+            phys: logical
+            for phys, logical in base.physical_markup.items()
+            if phys in elements and logical in elements
+        },
+        doctype_pattern=r"html\s+public",
+        description="HTML 2.0 (RFC 1866), the vintage weblint 1 grew up on.",
+    )
+
+
+register_spec("html20", build_html20)
+register_spec("html2", build_html20)

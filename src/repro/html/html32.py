@@ -1,0 +1,183 @@
+"""HTML 3.2 language definition.
+
+Derived from the HTML 4.0 tables by subtraction: HTML 3.2 lacks the 4.0
+structural additions (ABBR, BUTTON, table row groups, frames ...), has no
+global ``class``/``id``/``style``/``lang``/``dir`` attributes and no
+intrinsic events, and uses the smaller Latin-1 entity set.  A handful of
+requirements also differ -- notably ``IMG ALT`` is recommended rather than
+required, and ``SCRIPT``/``STYLE`` take no required ``type``.
+
+Checking the same page under ``html32`` and ``html40`` is experiment E11:
+markup legal in one version and not the other must be reported
+differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.html import entities
+from repro.html.html40 import PHYSICAL_MARKUP, build_html40
+from repro.html.spec import AttributeDef, ElementDef, HTMLSpec, register_spec
+
+# Elements introduced after 3.2 (HTML 4.0 only).
+POST_32_ELEMENTS = frozenset(
+    {
+        "abbr",
+        "acronym",
+        "bdo",
+        "button",
+        "col",
+        "colgroup",
+        "del",
+        "fieldset",
+        "frame",
+        "frameset",
+        "iframe",
+        "ins",
+        "label",
+        "legend",
+        "noframes",
+        "noscript",
+        "object",
+        "optgroup",
+        "q",
+        "s",
+        "span",
+        "tbody",
+        "tfoot",
+        "thead",
+    }
+)
+
+# Attributes that did not exist before HTML 4.0, dropped wholesale.
+POST_32_ATTRIBUTES = frozenset(
+    {
+        "accept-charset",
+        "accesskey",
+        "charoff",
+        "char",
+        "charset",
+        "cite",
+        "datetime",
+        "disabled",
+        "for",
+        "headers",
+        "hreflang",
+        "label",
+        "longdesc",
+        "media",
+        "profile",
+        "readonly",
+        "rules",
+        "scheme",
+        "scope",
+        "summary",
+        "tabindex",
+        "target",
+        "type",  # re-added below where 3.2 had it (OL/UL/LI/INPUT)
+        "usemap",
+        "valuetype",
+        "abbr",
+        "axis",
+        "frame",
+        "defer",
+        "event",
+        "onfocus",
+        "onblur",
+        "onselect",
+        "onchange",
+        "onsubmit",
+        "onreset",
+        "onload",
+        "onunload",
+    }
+)
+
+# (element, attribute) pairs that *did* exist in 3.2 despite the blanket
+# attribute drop above.
+KEEP_32 = frozenset(
+    {
+        ("ol", "type"),
+        ("ul", "type"),
+        ("li", "type"),
+        ("input", "type"),
+        ("a", "target"),  # common in 3.2-era documents with frames add-ons
+    }
+)
+
+
+def _strip_element(elem: ElementDef) -> ElementDef:
+    kept: dict[str, AttributeDef] = {}
+    for attr_name, attr in elem.attributes.items():
+        if attr_name in POST_32_ATTRIBUTES and (elem.name, attr_name) not in KEEP_32:
+            continue
+        kept[attr_name] = attr
+    allowed_in = elem.allowed_in
+    if allowed_in is not None:
+        allowed_in = frozenset(allowed_in - POST_32_ELEMENTS) or None
+    return ElementDef(
+        name=elem.name,
+        empty=elem.empty,
+        optional_end=elem.optional_end,
+        attributes=kept,
+        allowed_in=allowed_in,
+        excludes=frozenset(elem.excludes - POST_32_ELEMENTS),
+        closes=frozenset(elem.closes - POST_32_ELEMENTS),
+        deprecated=elem.deprecated,
+        obsolete=elem.obsolete,
+        replacement=elem.replacement,
+        is_block=elem.is_block,
+        is_head=elem.is_head,
+        once_per_document=elem.once_per_document,
+    )
+
+
+def _adjust_32(elements: dict[str, ElementDef]) -> None:
+    """Apply 3.2-specific rule differences."""
+    img = elements["img"]
+    img.attributes["alt"] = replace(img.attributes["alt"], required=False)
+    # 3.2 SCRIPT/STYLE are placeholders with no required type attribute.
+    for name in ("script", "style"):
+        elem = elements[name]
+        if "type" in elem.attributes:
+            elem.attributes["type"] = replace(
+                elem.attributes["type"], required=False
+            )
+    # CENTER, FONT et al. are first-class (not deprecated) in 3.2.
+    for name in ("center", "font", "basefont", "u", "strike", "dir", "menu",
+                 "isindex", "applet"):
+        if name in elements:
+            elements[name].deprecated = False
+            elements[name].replacement = None
+    # TR in 3.2 lives directly under TABLE (no row groups).
+    elements["tr"].allowed_in = frozenset({"table"})
+
+
+def build_html32() -> HTMLSpec:
+    base = build_html40()
+    elements = {
+        name: _strip_element(elem)
+        for name, elem in base.elements.items()
+        if name not in POST_32_ELEMENTS
+    }
+    _adjust_32(elements)
+    physical = {
+        phys: logical
+        for phys, logical in PHYSICAL_MARKUP.items()
+        if phys in elements and logical in elements
+    }
+    return HTMLSpec(
+        name="html32",
+        version="HTML 3.2",
+        elements=elements,
+        global_attributes={},  # no core attrs / events before 4.0
+        entities=dict(entities.HTML32_ENTITIES),
+        physical_markup=physical,
+        doctype_pattern=r"html\s+public",
+        description="HTML 3.2 (Wilbur).",
+    )
+
+
+register_spec("html32", build_html32)
+register_spec("html3", build_html32)

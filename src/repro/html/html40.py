@@ -1,0 +1,875 @@
+"""HTML 4.0 (Transitional) language definition -- ``Weblint::HTML40``.
+
+The default spec weblint 2 checks against (paper section 5.5).  The tables
+below cover the full HTML 4.0 Transitional element set: every element, its
+content-model class, its attributes with legal-value patterns, legal
+context, implicit closes and deprecation status.
+
+A Strict flavour is registered as ``html40-strict``: the same tables minus
+the deprecated presentation elements and attributes.
+"""
+
+from __future__ import annotations
+
+from repro.html import entities
+from repro.html.spec import AttributeDef, ElementDef, HTMLSpec, register_spec
+
+# -- shared value patterns ---------------------------------------------------
+
+COLOR = (
+    r"#[0-9a-fA-F]{6}"
+    r"|aqua|black|blue|fuchsia|gray|green|lime|maroon"
+    r"|navy|olive|purple|red|silver|teal|white|yellow"
+)
+NUMBER = r"[0-9]+"
+LENGTH = r"[0-9]+%?"
+MULTI_LENGTH = r"[0-9]+%?|[0-9]*\*"
+MULTI_LENGTHS = rf"(?:{MULTI_LENGTH})(?:\s*,\s*(?:{MULTI_LENGTH}))*"
+CHARSET = r"[A-Za-z][A-Za-z0-9._:-]*"
+LANGCODE = r"[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*"
+ALIGN_CELL = r"left|center|right|justify|char"
+VALIGN = r"top|middle|bottom|baseline"
+ALIGN_IMG = r"top|middle|bottom|left|right"
+ALIGN_PARA = r"left|center|right|justify"
+ALIGN_CAPTION = r"top|bottom|left|right"
+ALIGN_LEGEND = r"top|bottom|left|right"
+ALIGN_HR = r"left|center|right"
+ALIGN_TABLE = r"left|center|right"
+ALIGN_DIV = r"left|center|right|justify"
+SHAPE = r"rect|circle|poly|default"
+CLEAR = r"left|all|right|none"
+INPUT_TYPE = (
+    r"text|password|checkbox|radio|submit|reset|file|hidden|image|button"
+)
+BUTTON_TYPE = r"button|submit|reset"
+METHOD = r"get|post"
+DIRECTION = r"ltr|rtl"
+SCROLLING = r"yes|no|auto"
+FRAMEBORDER = r"1|0"
+TFRAME = r"void|above|below|hsides|lhs|rhs|vsides|box|border"
+TRULES = r"none|groups|rows|cols|all"
+SCOPE = r"row|col|rowgroup|colgroup"
+OL_TYPE = r"1|a|A|i|I"
+UL_TYPE = r"disc|square|circle"
+LI_TYPE = r"1|a|A|i|I|disc|square|circle"
+VALUETYPE = r"data|ref|object"
+TABINDEX = NUMBER
+COORDS = r"-?[0-9]+%?(?:\s*,\s*-?[0-9]+%?)*"
+
+
+def _attr(
+    name: str,
+    pattern: str | None = None,
+    *,
+    required: bool = False,
+    deprecated: bool = False,
+    boolean: bool = False,
+) -> AttributeDef:
+    return AttributeDef(
+        name=name.lower(),
+        pattern=pattern,
+        required=required,
+        deprecated=deprecated,
+        boolean=boolean,
+    )
+
+
+def _attrs(*defs: AttributeDef) -> dict[str, AttributeDef]:
+    return {d.name: d for d in defs}
+
+
+# Intrinsic events shared by most elements (HTML 4.0 section 18.2.3).
+EVENT_NAMES = (
+    "onclick",
+    "ondblclick",
+    "onmousedown",
+    "onmouseup",
+    "onmouseover",
+    "onmousemove",
+    "onmouseout",
+    "onkeypress",
+    "onkeydown",
+    "onkeyup",
+)
+
+GLOBAL_ATTRIBUTES = _attrs(
+    _attr("id"),
+    _attr("class"),
+    _attr("style"),
+    _attr("title"),
+    _attr("lang", LANGCODE),
+    _attr("dir", DIRECTION),
+    *(_attr(event) for event in EVENT_NAMES),
+)
+
+
+def _elem(
+    name: str,
+    *defs: AttributeDef,
+    empty: bool = False,
+    opt: bool = False,
+    allowed_in: tuple[str, ...] | None = None,
+    excludes: tuple[str, ...] = (),
+    closes: tuple[str, ...] = (),
+    deprecated: bool = False,
+    replacement: str | None = None,
+    block: bool = False,
+    head: bool = False,
+    once: bool = False,
+) -> ElementDef:
+    return ElementDef(
+        name=name,
+        empty=empty,
+        optional_end=opt,
+        attributes=_attrs(*defs),
+        allowed_in=frozenset(allowed_in) if allowed_in is not None else None,
+        excludes=frozenset(excludes),
+        closes=frozenset(closes),
+        deprecated=deprecated,
+        replacement=replacement,
+        is_block=block,
+        is_head=head,
+        once_per_document=once,
+    )
+
+
+# Block-level elements implicitly close an open P.
+_P = ("p",)
+
+_CELLHALIGN = (
+    _attr("align", ALIGN_CELL),
+    _attr("char"),
+    _attr("charoff", LENGTH),
+    _attr("valign", VALIGN),
+)
+
+
+def _build_elements() -> dict[str, ElementDef]:
+    elems = [
+        # -- document structure ------------------------------------------------
+        _elem(
+            "html",
+            _attr("version", deprecated=True),
+            opt=True,
+            allowed_in=None,
+            once=True,
+        ),
+        _elem("head", _attr("profile"), opt=True, allowed_in=("html",), once=True, head=True),
+        _elem(
+            "body",
+            _attr("background", deprecated=True),
+            _attr("bgcolor", COLOR, deprecated=True),
+            _attr("text", COLOR, deprecated=True),
+            _attr("link", COLOR, deprecated=True),
+            _attr("vlink", COLOR, deprecated=True),
+            _attr("alink", COLOR, deprecated=True),
+            _attr("onload"),
+            _attr("onunload"),
+            opt=True,
+            allowed_in=("html", "noframes"),
+            once=True,
+            block=True,
+        ),
+        _elem("title", allowed_in=("head",), once=True, head=True),
+        _elem(
+            "base",
+            _attr("href"),
+            _attr("target"),
+            empty=True,
+            allowed_in=("head",),
+            head=True,
+        ),
+        _elem(
+            "meta",
+            _attr("http-equiv"),
+            _attr("name"),
+            _attr("content", required=True),
+            _attr("scheme"),
+            empty=True,
+            allowed_in=("head",),
+            head=True,
+        ),
+        _elem(
+            "link",
+            _attr("charset", CHARSET),
+            _attr("href"),
+            _attr("hreflang", LANGCODE),
+            _attr("type"),
+            _attr("rel"),
+            _attr("rev"),
+            _attr("media"),
+            _attr("target"),
+            empty=True,
+            allowed_in=("head",),
+            head=True,
+        ),
+        _elem(
+            "style",
+            _attr("type", required=True),
+            _attr("media"),
+            _attr("title"),
+            allowed_in=("head",),
+            head=True,
+        ),
+        _elem(
+            "script",
+            _attr("charset", CHARSET),
+            _attr("type", required=True),
+            _attr("language", deprecated=True),
+            _attr("src"),
+            _attr("defer", boolean=True),
+            _attr("event"),
+            _attr("for"),
+        ),
+        _elem("noscript", block=True, closes=_P),
+        _elem(
+            "isindex",
+            _attr("prompt"),
+            empty=True,
+            deprecated=True,
+            replacement="input",
+        ),
+        # -- frames (transitional/frameset) -------------------------------------
+        _elem(
+            "frameset",
+            _attr("rows", MULTI_LENGTHS),
+            _attr("cols", MULTI_LENGTHS),
+            _attr("onload"),
+            _attr("onunload"),
+            allowed_in=("html", "frameset"),
+            block=True,
+        ),
+        _elem(
+            "frame",
+            _attr("longdesc"),
+            _attr("name"),
+            _attr("src"),
+            _attr("frameborder", FRAMEBORDER),
+            _attr("marginwidth", NUMBER),
+            _attr("marginheight", NUMBER),
+            _attr("noresize", boolean=True),
+            _attr("scrolling", SCROLLING),
+            empty=True,
+            allowed_in=("frameset",),
+        ),
+        _elem(
+            "iframe",
+            _attr("longdesc"),
+            _attr("name"),
+            _attr("src"),
+            _attr("frameborder", FRAMEBORDER),
+            _attr("marginwidth", NUMBER),
+            _attr("marginheight", NUMBER),
+            _attr("scrolling", SCROLLING),
+            _attr("align", ALIGN_IMG, deprecated=True),
+            _attr("height", LENGTH),
+            _attr("width", LENGTH),
+        ),
+        _elem("noframes", block=True, closes=_P),
+        # -- headings and text blocks --------------------------------------------
+        *(
+            _elem(
+                f"h{level}",
+                _attr("align", ALIGN_PARA, deprecated=True),
+                block=True,
+                closes=_P,
+            )
+            for level in range(1, 7)
+        ),
+        _elem(
+            "p",
+            _attr("align", ALIGN_PARA, deprecated=True),
+            opt=True,
+            block=True,
+            closes=_P,
+        ),
+        _elem(
+            "div",
+            _attr("align", ALIGN_DIV, deprecated=True),
+            block=True,
+            closes=_P,
+        ),
+        _elem("center", deprecated=True, replacement="div", block=True, closes=_P),
+        _elem("address", block=True, closes=_P),
+        _elem("blockquote", _attr("cite"), block=True, closes=_P),
+        _elem("q", _attr("cite")),
+        _elem(
+            "pre",
+            _attr("width", NUMBER, deprecated=True),
+            excludes=(
+                "img",
+                "object",
+                "applet",
+                "big",
+                "small",
+                "sub",
+                "sup",
+                "font",
+                "basefont",
+            ),
+            block=True,
+            closes=_P,
+        ),
+        _elem(
+            "br",
+            _attr("clear", CLEAR, deprecated=True),
+            empty=True,
+        ),
+        _elem(
+            "hr",
+            _attr("align", ALIGN_HR, deprecated=True),
+            _attr("noshade", boolean=True, deprecated=True),
+            _attr("size", NUMBER, deprecated=True),
+            _attr("width", LENGTH, deprecated=True),
+            empty=True,
+            block=True,
+            closes=_P,
+        ),
+        _elem("ins", _attr("cite"), _attr("datetime")),
+        _elem("del", _attr("cite"), _attr("datetime")),
+        # -- lists ------------------------------------------------------------------
+        _elem(
+            "ul",
+            _attr("type", UL_TYPE, deprecated=True),
+            _attr("compact", boolean=True, deprecated=True),
+            block=True,
+            closes=_P,
+        ),
+        _elem(
+            "ol",
+            _attr("type", OL_TYPE, deprecated=True),
+            _attr("start", NUMBER, deprecated=True),
+            _attr("compact", boolean=True, deprecated=True),
+            block=True,
+            closes=_P,
+        ),
+        _elem(
+            "li",
+            _attr("type", LI_TYPE, deprecated=True),
+            _attr("value", NUMBER, deprecated=True),
+            opt=True,
+            allowed_in=("ul", "ol", "dir", "menu"),
+            closes=("li",),
+        ),
+        _elem(
+            "dl",
+            _attr("compact", boolean=True, deprecated=True),
+            block=True,
+            closes=_P,
+        ),
+        _elem("dt", opt=True, allowed_in=("dl",), closes=("dt", "dd")),
+        _elem("dd", opt=True, allowed_in=("dl",), closes=("dt", "dd")),
+        _elem(
+            "dir",
+            _attr("compact", boolean=True, deprecated=True),
+            deprecated=True,
+            replacement="ul",
+            block=True,
+            closes=_P,
+        ),
+        _elem(
+            "menu",
+            _attr("compact", boolean=True, deprecated=True),
+            deprecated=True,
+            replacement="ul",
+            block=True,
+            closes=_P,
+        ),
+        # -- phrase / font markup -------------------------------------------------
+        _elem("em"),
+        _elem("strong"),
+        _elem("dfn"),
+        _elem("code"),
+        _elem("samp"),
+        _elem("kbd"),
+        _elem("var"),
+        _elem("cite"),
+        _elem("abbr"),
+        _elem("acronym"),
+        _elem("tt"),
+        _elem("i"),
+        _elem("b"),
+        _elem("big"),
+        _elem("small"),
+        _elem("sub"),
+        _elem("sup"),
+        _elem("u", deprecated=True),
+        _elem("s", deprecated=True, replacement="del"),
+        _elem("strike", deprecated=True, replacement="del"),
+        _elem(
+            "font",
+            _attr("size"),
+            _attr("color", COLOR),
+            _attr("face"),
+            deprecated=True,
+        ),
+        _elem(
+            "basefont",
+            _attr("size", required=True),
+            _attr("color", COLOR),
+            _attr("face"),
+            empty=True,
+            deprecated=True,
+        ),
+        _elem("bdo", _attr("dir", DIRECTION, required=True)),
+        _elem("span"),
+        # -- anchors, images, objects --------------------------------------------
+        _elem(
+            "a",
+            _attr("charset", CHARSET),
+            _attr("type"),
+            _attr("name"),
+            _attr("href"),
+            _attr("hreflang", LANGCODE),
+            _attr("target"),
+            _attr("rel"),
+            _attr("rev"),
+            _attr("accesskey"),
+            _attr("shape", SHAPE),
+            _attr("coords", COORDS),
+            _attr("tabindex", TABINDEX),
+            _attr("onfocus"),
+            _attr("onblur"),
+            excludes=("a",),
+        ),
+        _elem(
+            "img",
+            _attr("src", required=True),
+            _attr("alt", required=True),
+            _attr("longdesc"),
+            _attr("name"),
+            _attr("height", LENGTH),
+            _attr("width", LENGTH),
+            _attr("usemap"),
+            _attr("ismap", boolean=True),
+            _attr("align", ALIGN_IMG, deprecated=True),
+            _attr("border", LENGTH, deprecated=True),
+            _attr("hspace", NUMBER, deprecated=True),
+            _attr("vspace", NUMBER, deprecated=True),
+            empty=True,
+        ),
+        _elem(
+            "map",
+            _attr("name", required=True),
+        ),
+        _elem(
+            "area",
+            _attr("shape", SHAPE),
+            _attr("coords", COORDS),
+            _attr("href"),
+            _attr("nohref", boolean=True),
+            _attr("alt", required=True),
+            _attr("tabindex", TABINDEX),
+            _attr("accesskey"),
+            _attr("onfocus"),
+            _attr("onblur"),
+            _attr("target"),
+            empty=True,
+            allowed_in=("map",),
+        ),
+        _elem(
+            "object",
+            _attr("declare", boolean=True),
+            _attr("classid"),
+            _attr("codebase"),
+            _attr("data"),
+            _attr("type"),
+            _attr("codetype"),
+            _attr("archive"),
+            _attr("standby"),
+            _attr("height", LENGTH),
+            _attr("width", LENGTH),
+            _attr("usemap"),
+            _attr("name"),
+            _attr("tabindex", TABINDEX),
+            _attr("align", ALIGN_IMG, deprecated=True),
+            _attr("border", LENGTH, deprecated=True),
+            _attr("hspace", NUMBER, deprecated=True),
+            _attr("vspace", NUMBER, deprecated=True),
+        ),
+        _elem(
+            "param",
+            _attr("id"),
+            _attr("name", required=True),
+            _attr("value"),
+            _attr("valuetype", VALUETYPE),
+            _attr("type"),
+            empty=True,
+            allowed_in=("object", "applet"),
+        ),
+        _elem(
+            "applet",
+            _attr("codebase"),
+            _attr("archive"),
+            _attr("code"),
+            _attr("object"),
+            _attr("alt"),
+            _attr("name"),
+            _attr("width", LENGTH, required=True),
+            _attr("height", LENGTH, required=True),
+            _attr("align", ALIGN_IMG),
+            _attr("hspace", NUMBER),
+            _attr("vspace", NUMBER),
+            deprecated=True,
+            replacement="object",
+        ),
+        # -- tables --------------------------------------------------------------
+        _elem(
+            "table",
+            _attr("summary"),
+            _attr("width", LENGTH),
+            _attr("border", NUMBER),
+            _attr("frame", TFRAME),
+            _attr("rules", TRULES),
+            _attr("cellspacing", LENGTH),
+            _attr("cellpadding", LENGTH),
+            _attr("align", ALIGN_TABLE, deprecated=True),
+            _attr("bgcolor", COLOR, deprecated=True),
+            block=True,
+            closes=_P,
+        ),
+        _elem(
+            "caption",
+            _attr("align", ALIGN_CAPTION, deprecated=True),
+            allowed_in=("table",),
+        ),
+        _elem(
+            "colgroup",
+            _attr("span", NUMBER),
+            _attr("width", MULTI_LENGTH),
+            *_CELLHALIGN,
+            opt=True,
+            allowed_in=("table",),
+            closes=("colgroup",),
+        ),
+        _elem(
+            "col",
+            _attr("span", NUMBER),
+            _attr("width", MULTI_LENGTH),
+            *_CELLHALIGN,
+            empty=True,
+            allowed_in=("table", "colgroup"),
+        ),
+        _elem(
+            "thead",
+            *_CELLHALIGN,
+            opt=True,
+            allowed_in=("table",),
+            closes=("colgroup",),
+        ),
+        _elem(
+            "tfoot",
+            *_CELLHALIGN,
+            opt=True,
+            allowed_in=("table",),
+            closes=("thead", "tbody", "tr", "td", "th", "colgroup"),
+        ),
+        _elem(
+            "tbody",
+            *_CELLHALIGN,
+            opt=True,
+            allowed_in=("table",),
+            closes=("thead", "tfoot", "tbody", "tr", "td", "th", "colgroup"),
+        ),
+        _elem(
+            "tr",
+            *_CELLHALIGN,
+            _attr("bgcolor", COLOR, deprecated=True),
+            opt=True,
+            allowed_in=("table", "thead", "tbody", "tfoot"),
+            closes=("tr", "td", "th"),
+        ),
+        _elem(
+            "td",
+            _attr("abbr"),
+            _attr("axis"),
+            _attr("headers"),
+            _attr("scope", SCOPE),
+            _attr("rowspan", NUMBER),
+            _attr("colspan", NUMBER),
+            *_CELLHALIGN,
+            _attr("nowrap", boolean=True, deprecated=True),
+            _attr("bgcolor", COLOR, deprecated=True),
+            _attr("width", LENGTH, deprecated=True),
+            _attr("height", LENGTH, deprecated=True),
+            opt=True,
+            allowed_in=("tr",),
+            closes=("td", "th"),
+        ),
+        _elem(
+            "th",
+            _attr("abbr"),
+            _attr("axis"),
+            _attr("headers"),
+            _attr("scope", SCOPE),
+            _attr("rowspan", NUMBER),
+            _attr("colspan", NUMBER),
+            *_CELLHALIGN,
+            _attr("nowrap", boolean=True, deprecated=True),
+            _attr("bgcolor", COLOR, deprecated=True),
+            _attr("width", LENGTH, deprecated=True),
+            _attr("height", LENGTH, deprecated=True),
+            opt=True,
+            allowed_in=("tr",),
+            closes=("td", "th"),
+        ),
+        # -- forms ------------------------------------------------------------------
+        _elem(
+            "form",
+            _attr("action", required=True),
+            _attr("method", METHOD),
+            _attr("enctype"),
+            _attr("accept"),
+            _attr("name"),
+            _attr("onsubmit"),
+            _attr("onreset"),
+            _attr("target"),
+            _attr("accept-charset"),
+            excludes=("form",),
+            block=True,
+            closes=_P,
+        ),
+        _elem(
+            "input",
+            _attr("type", INPUT_TYPE),
+            _attr("name"),
+            _attr("value"),
+            _attr("checked", boolean=True),
+            _attr("disabled", boolean=True),
+            _attr("readonly", boolean=True),
+            _attr("size"),
+            _attr("maxlength", NUMBER),
+            _attr("src"),
+            _attr("alt"),
+            _attr("usemap"),
+            _attr("ismap", boolean=True),
+            _attr("tabindex", TABINDEX),
+            _attr("accesskey"),
+            _attr("onfocus"),
+            _attr("onblur"),
+            _attr("onselect"),
+            _attr("onchange"),
+            _attr("accept"),
+            _attr("align", ALIGN_IMG, deprecated=True),
+            empty=True,
+        ),
+        _elem(
+            "button",
+            _attr("name"),
+            _attr("value"),
+            _attr("type", BUTTON_TYPE),
+            _attr("disabled", boolean=True),
+            _attr("tabindex", TABINDEX),
+            _attr("accesskey"),
+            _attr("onfocus"),
+            _attr("onblur"),
+            excludes=(
+                "a",
+                "form",
+                "input",
+                "select",
+                "textarea",
+                "label",
+                "button",
+                "iframe",
+                "isindex",
+                "fieldset",
+            ),
+        ),
+        _elem(
+            "select",
+            _attr("name"),
+            _attr("size", NUMBER),
+            _attr("multiple", boolean=True),
+            _attr("disabled", boolean=True),
+            _attr("tabindex", TABINDEX),
+            _attr("onfocus"),
+            _attr("onblur"),
+            _attr("onchange"),
+        ),
+        _elem(
+            "optgroup",
+            _attr("disabled", boolean=True),
+            _attr("label", required=True),
+            allowed_in=("select",),
+            closes=("option",),
+        ),
+        _elem(
+            "option",
+            _attr("selected", boolean=True),
+            _attr("disabled", boolean=True),
+            _attr("label"),
+            _attr("value"),
+            opt=True,
+            allowed_in=("select", "optgroup"),
+            closes=("option",),
+        ),
+        _elem(
+            "textarea",
+            _attr("name"),
+            _attr("rows", NUMBER, required=True),
+            _attr("cols", NUMBER, required=True),
+            _attr("disabled", boolean=True),
+            _attr("readonly", boolean=True),
+            _attr("tabindex", TABINDEX),
+            _attr("accesskey"),
+            _attr("onfocus"),
+            _attr("onblur"),
+            _attr("onselect"),
+            _attr("onchange"),
+        ),
+        _elem(
+            "label",
+            _attr("for"),
+            _attr("accesskey"),
+            _attr("onfocus"),
+            _attr("onblur"),
+            excludes=("label",),
+        ),
+        _elem("fieldset", block=True, closes=_P),
+        _elem(
+            "legend",
+            _attr("accesskey"),
+            _attr("align", ALIGN_LEGEND, deprecated=True),
+            allowed_in=("fieldset",),
+        ),
+        # -- obsolete elements kept so the typo-detector and deprecation
+        #    messages can name them explicitly --------------------------------------
+        _elem("listing", obsolete(True), block=True),
+        _elem("xmp", obsolete(True), block=True),
+        _elem("plaintext", obsolete(True), block=True),
+    ]
+    return {e.name: e for e in elems}
+
+
+def obsolete(flag: bool) -> AttributeDef:
+    """Placeholder so obsolete elements read clearly in the table.
+
+    Obsolete elements take no attributes; this returns a harmless unused
+    def and the obsolete flag is set below in :func:`_mark_obsolete`.
+    """
+    return _attr("_obsolete")
+
+
+def _mark_obsolete(elements: dict[str, ElementDef]) -> None:
+    replacements = {"listing": "pre", "xmp": "pre", "plaintext": "pre"}
+    for name, replacement in replacements.items():
+        elem = elements[name]
+        elem.obsolete = True
+        elem.deprecated = True
+        elem.replacement = replacement
+        elem.attributes.pop("_obsolete", None)
+
+
+PHYSICAL_MARKUP = {
+    "b": "strong",
+    "i": "em",
+    "tt": "code",
+    "u": "em",
+    "s": "del",
+    "strike": "del",
+    "big": "strong",
+    "small": "em",
+}
+
+DOCTYPE_PATTERN = r"html\s+(?:public|system)"
+
+
+def build_html40() -> HTMLSpec:
+    """Build the HTML 4.0 Transitional spec."""
+    elements = _build_elements()
+    _mark_obsolete(elements)
+    return HTMLSpec(
+        name="html40",
+        version="HTML 4.0 Transitional",
+        elements=elements,
+        global_attributes=dict(GLOBAL_ATTRIBUTES),
+        entities=dict(entities.ENTITIES),
+        physical_markup=dict(PHYSICAL_MARKUP),
+        doctype_pattern=DOCTYPE_PATTERN,
+        description="Default weblint language: HTML 4.0 Transitional.",
+    )
+
+
+STRICT_EXCLUDED_ELEMENTS = frozenset(
+    {
+        "applet",
+        "basefont",
+        "center",
+        "dir",
+        "font",
+        "frame",
+        "frameset",
+        "iframe",
+        "isindex",
+        "menu",
+        "noframes",
+        "s",
+        "strike",
+        "u",
+        "listing",
+        "xmp",
+        "plaintext",
+    }
+)
+
+
+def build_html40_strict() -> HTMLSpec:
+    """HTML 4.0 Strict: Transitional minus deprecated markup.
+
+    Cross-references (legal contexts, exclusions, implicit closes,
+    replacements, physical/logical pairs) are filtered to the surviving
+    element set so the strict tables never point at removed elements.
+    """
+    base = build_html40()
+    surviving = set(base.elements) - STRICT_EXCLUDED_ELEMENTS
+    elements: dict[str, ElementDef] = {}
+    for name, elem in base.elements.items():
+        if name in STRICT_EXCLUDED_ELEMENTS:
+            continue
+        kept = {
+            attr_name: attr
+            for attr_name, attr in elem.attributes.items()
+            if not attr.deprecated
+        }
+        allowed_in = elem.allowed_in
+        if allowed_in is not None:
+            allowed_in = frozenset(allowed_in & surviving) or None
+        replacement = elem.replacement
+        if replacement is not None and replacement not in surviving:
+            replacement = None
+        elements[name] = ElementDef(
+            name=elem.name,
+            empty=elem.empty,
+            optional_end=elem.optional_end,
+            attributes=kept,
+            allowed_in=allowed_in,
+            excludes=frozenset(elem.excludes & surviving),
+            closes=frozenset(elem.closes & surviving),
+            deprecated=elem.deprecated,
+            obsolete=elem.obsolete,
+            replacement=replacement,
+            is_block=elem.is_block,
+            is_head=elem.is_head,
+            once_per_document=elem.once_per_document,
+        )
+    physical = {
+        phys: logical
+        for phys, logical in PHYSICAL_MARKUP.items()
+        if phys in surviving and logical in surviving
+    }
+    return HTMLSpec(
+        name="html40-strict",
+        version="HTML 4.0 Strict",
+        elements=elements,
+        global_attributes=dict(GLOBAL_ATTRIBUTES),
+        entities=dict(entities.ENTITIES),
+        physical_markup=physical,
+        doctype_pattern=DOCTYPE_PATTERN,
+        description="HTML 4.0 Strict: no deprecated elements or attributes.",
+    )
+
+
+register_spec("html40", build_html40)
+register_spec("html4", build_html40)
+register_spec("html40-strict", build_html40_strict)

@@ -1,0 +1,131 @@
+"""Microsoft Internet Explorer extensions to HTML 4.0.
+
+Companion to :mod:`repro.html.netscape`: HTML 4.0 Transitional plus the
+IE4-era elements (MARQUEE, BGSOUND ...) and attribute extensions
+(BORDERCOLOR on tables, LEFTMARGIN/TOPMARGIN on BODY ...).
+"""
+
+from __future__ import annotations
+
+from repro.html import entities
+from repro.html.html40 import (
+    COLOR,
+    LENGTH,
+    NUMBER,
+    PHYSICAL_MARKUP,
+    _attr,
+    _elem,
+    build_html40,
+)
+from repro.html.spec import HTMLSpec, register_spec
+
+MICROSOFT_ELEMENTS = (
+    _elem(
+        "marquee",
+        _attr("behavior", r"scroll|slide|alternate"),
+        _attr("bgcolor", COLOR),
+        _attr("direction", r"left|right|up|down"),
+        _attr("height", LENGTH),
+        _attr("width", LENGTH),
+        _attr("hspace", NUMBER),
+        _attr("vspace", NUMBER),
+        _attr("loop", r"-?[0-9]+|infinite"),
+        _attr("scrollamount", NUMBER),
+        _attr("scrolldelay", NUMBER),
+        _attr("truespeed", boolean=True),
+        deprecated=True,
+    ),
+    _elem(
+        "bgsound",
+        _attr("src", required=True),
+        _attr("loop", r"-?[0-9]+|infinite"),
+        _attr("balance", r"-?[0-9]+"),
+        _attr("volume", r"-?[0-9]+"),
+        empty=True,
+    ),
+    _elem("nobr"),
+    _elem("wbr", empty=True),
+    _elem("comment"),  # IE's <COMMENT> element; content is ignored by IE
+    _elem(
+        "embed",
+        _attr("src", required=True),
+        _attr("width", LENGTH),
+        _attr("height", LENGTH),
+        _attr("name"),
+        _attr("units", r"pixels|em"),
+        empty=True,
+    ),
+    _elem("xml", _attr("id"), _attr("src")),  # data islands
+)
+
+MICROSOFT_EXTRA_ATTRIBUTES = {
+    "body": (
+        _attr("leftmargin", NUMBER),
+        _attr("topmargin", NUMBER),
+        _attr("rightmargin", NUMBER),
+        _attr("bottommargin", NUMBER),
+        _attr("bgproperties", r"fixed"),
+        _attr("scroll", r"yes|no"),
+    ),
+    "table": (
+        _attr("bordercolor", COLOR),
+        _attr("bordercolorlight", COLOR),
+        _attr("bordercolordark", COLOR),
+        _attr("background"),
+        _attr("height", LENGTH),
+    ),
+    "td": (
+        _attr("bordercolor", COLOR),
+        _attr("background"),
+    ),
+    "th": (
+        _attr("bordercolor", COLOR),
+        _attr("background"),
+    ),
+    "tr": (
+        _attr("bordercolor", COLOR),
+        _attr("height", LENGTH),
+    ),
+    "img": (
+        _attr("dynsrc"),
+        _attr("start", r"fileopen|mouseover"),
+        _attr("loop", r"-?[0-9]+|infinite"),
+        _attr("controls", boolean=True),
+    ),
+    "a": (
+        _attr("methods"),
+        _attr("urn"),
+    ),
+    "iframe": (
+        _attr("allowtransparency", r"true|false"),
+        _attr("application", r"yes|no"),
+    ),
+    "font": (
+        _attr("point-size", NUMBER),
+    ),
+}
+
+
+def build_microsoft() -> HTMLSpec:
+    base = build_html40()
+    elements = dict(base.elements)
+    for elem in MICROSOFT_ELEMENTS:
+        elements[elem.name] = elem
+    for name, extras in MICROSOFT_EXTRA_ATTRIBUTES.items():
+        target = elements[name]
+        for attr in extras:
+            target.attributes.setdefault(attr.name, attr)
+    return HTMLSpec(
+        name="microsoft",
+        version="HTML 4.0 + Microsoft Internet Explorer extensions",
+        elements=elements,
+        global_attributes=dict(base.global_attributes),
+        entities=dict(entities.ENTITIES),
+        physical_markup=dict(PHYSICAL_MARKUP),
+        doctype_pattern=base.doctype_pattern,
+        description="HTML 4.0 Transitional plus Internet Explorer extensions.",
+    )
+
+
+register_spec("microsoft", build_microsoft)
+register_spec("ie", build_microsoft)

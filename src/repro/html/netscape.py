@@ -1,0 +1,161 @@
+"""Netscape Navigator extensions to HTML 4.0.
+
+The paper (section 5.5): "Other modules define the non-standard extensions
+supported by Microsoft (Internet Explorer) and Netscape (Navigator)."
+This spec starts from HTML 4.0 Transitional and adds the Navigator-only
+elements (BLINK, LAYER, MULTICOL, SPACER ...) and attributes, so that
+pages written for Navigator can be checked without drowning in
+unknown-element noise -- while still being told about genuine mistakes.
+"""
+
+from __future__ import annotations
+
+from repro.html import entities
+from repro.html.html40 import (
+    COLOR,
+    LENGTH,
+    NUMBER,
+    PHYSICAL_MARKUP,
+    _attr,
+    _elem,
+    build_html40,
+)
+from repro.html.spec import HTMLSpec, register_spec
+
+# Navigator 4-era extension elements.
+NETSCAPE_ELEMENTS = (
+    _elem("blink"),  # vendor-blessed; style advice comes from physical_markup
+    _elem("nobr"),
+    _elem("wbr", empty=True),
+    _elem(
+        "spacer",
+        _attr("type", r"horizontal|vertical|block"),
+        _attr("size", NUMBER),
+        _attr("width", NUMBER),
+        _attr("height", NUMBER),
+        _attr("align", r"left|right|top|texttop|middle|absmiddle|baseline|bottom|absbottom"),
+        empty=True,
+    ),
+    _elem(
+        "multicol",
+        _attr("cols", NUMBER, required=True),
+        _attr("gutter", NUMBER),
+        _attr("width", LENGTH),
+        block=True,
+        closes=("p",),
+    ),
+    _elem(
+        "layer",
+        _attr("id"),
+        _attr("left", NUMBER),
+        _attr("top", NUMBER),
+        _attr("pagex", NUMBER),
+        _attr("pagey", NUMBER),
+        _attr("src"),
+        _attr("z-index", NUMBER),
+        _attr("above"),
+        _attr("below"),
+        _attr("width", LENGTH),
+        _attr("height", LENGTH),
+        _attr("clip"),
+        _attr("visibility", r"show|hide|inherit"),
+        _attr("bgcolor", COLOR),
+        _attr("background"),
+        block=True,
+    ),
+    _elem(
+        "ilayer",
+        _attr("id"),
+        _attr("left", NUMBER),
+        _attr("top", NUMBER),
+        _attr("src"),
+        _attr("width", LENGTH),
+        _attr("height", LENGTH),
+        _attr("visibility", r"show|hide|inherit"),
+        _attr("bgcolor", COLOR),
+        _attr("background"),
+    ),
+    _elem("nolayer"),
+    _elem(
+        "keygen",
+        _attr("name", required=True),
+        _attr("challenge"),
+        empty=True,
+    ),
+    _elem(
+        "embed",
+        _attr("src", required=True),
+        _attr("width", LENGTH),
+        _attr("height", LENGTH),
+        _attr("name"),
+        _attr("pluginspage"),
+        _attr("hidden", r"true|false"),
+        _attr("autostart", r"true|false"),
+        _attr("loop", r"true|false"),
+        _attr("align", r"left|right|top|bottom"),
+        empty=True,
+    ),
+    _elem("noembed"),
+    _elem("server"),  # LiveWire server-side JavaScript
+)
+
+# (element, attribute) Navigator-only attribute extensions.
+NETSCAPE_EXTRA_ATTRIBUTES = {
+    "body": (
+        _attr("marginwidth", NUMBER),
+        _attr("marginheight", NUMBER),
+    ),
+    "img": (
+        _attr("lowsrc"),
+        _attr("suppress", r"true|false"),
+    ),
+    "font": (
+        _attr("point-size", NUMBER),
+        _attr("weight", NUMBER),
+    ),
+    "hr": (
+        _attr("color", COLOR),
+    ),
+    "frameset": (
+        _attr("border", NUMBER),
+        _attr("bordercolor", COLOR),
+        _attr("frameborder", r"yes|no|1|0"),
+    ),
+    "frame": (
+        _attr("bordercolor", COLOR),
+    ),
+    "table": (
+        _attr("bordercolor", COLOR),
+        _attr("cols", NUMBER),
+        _attr("height", LENGTH),
+    ),
+    "input": (
+        _attr("onkeydown"),
+    ),
+}
+
+
+def build_netscape() -> HTMLSpec:
+    base = build_html40()
+    elements = dict(base.elements)
+    for elem in NETSCAPE_ELEMENTS:
+        elements[elem.name] = elem
+    for name, extras in NETSCAPE_EXTRA_ATTRIBUTES.items():
+        target = elements[name]
+        for attr in extras:
+            target.attributes.setdefault(attr.name, attr)
+    physical = dict(PHYSICAL_MARKUP)
+    physical["blink"] = "em"
+    return HTMLSpec(
+        name="netscape",
+        version="HTML 4.0 + Netscape Navigator extensions",
+        elements=elements,
+        global_attributes=dict(base.global_attributes),
+        entities=dict(entities.ENTITIES),
+        physical_markup=physical,
+        doctype_pattern=base.doctype_pattern,
+        description="HTML 4.0 Transitional plus Navigator extensions.",
+    )
+
+
+register_spec("netscape", build_netscape)

@@ -1,0 +1,228 @@
+"""Token model for the ad-hoc weblint tokenizer.
+
+The paper (section 5.1) describes the input being "tokenised into start
+tags (possibly with attributes), text content, and end tags", with special
+handling for comments, ``SCRIPT`` and ``STYLE``.  Unlike a conforming HTML
+parser, weblint's tokens deliberately preserve *lexical* details -- quote
+characters, missing quotes, whitespace oddities -- because many of its
+warnings are about exactly those details.
+
+Tokens are plain frozen-ish dataclasses.  They carry their source position
+(1-based line and column, like traditional lint output) and a list of
+:class:`LexicalIssue` flags raised by the tokenizer itself; the rule engine
+turns those flags into user-facing messages so that message wording and
+configuration live in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class TokenKind(enum.Enum):
+    """Discriminator for the token classes.
+
+    Kept as an enum (rather than relying on ``isinstance`` alone) so that
+    table-driven dispatch in the engine is explicit and exhaustive.
+    """
+
+    TEXT = "text"
+    START_TAG = "start-tag"
+    END_TAG = "end-tag"
+    COMMENT = "comment"
+    DECLARATION = "declaration"
+    PI = "processing-instruction"
+
+
+class LexicalIssue(enum.Enum):
+    """Anomalies detected while tokenizing.
+
+    The tokenizer never prints anything; it records what it saw and the
+    rules decide which anomalies the user wants to hear about.
+    """
+
+    ODD_QUOTES = "odd-quotes"
+    UNCLOSED_TAG = "unclosed-tag"
+    UNTERMINATED_COMMENT = "unterminated-comment"
+    MARKUP_IN_COMMENT = "markup-in-comment"
+    NESTED_COMMENT = "nested-comment"
+    WHITESPACE_AFTER_LT = "whitespace-after-lt"
+    WHITESPACE_BEFORE_GT = "whitespace-before-gt"
+    UNQUOTED_VALUE = "unquoted-value"
+    SINGLE_QUOTED_VALUE = "single-quoted-value"
+    BARE_GT_IN_TEXT = "bare-gt-in-text"
+    BARE_LT_IN_TEXT = "bare-lt-in-text"
+    UNKNOWN_ENTITY = "unknown-entity"
+    UNTERMINATED_ENTITY = "unterminated-entity"
+    MALFORMED_DECLARATION = "malformed-declaration"
+    EMPTY_TAG = "empty-tag"
+    ATTRIBUTES_IN_END_TAG = "attributes-in-end-tag"
+
+
+@dataclass
+class Attribute:
+    """A single ``name[=value]`` pair inside a start tag.
+
+    ``quote`` records the delimiter actually used in the source: ``'"'``,
+    ``"'"``, or ``None`` when the value was unquoted or absent.
+    ``has_value`` distinguishes ``<input checked>`` (boolean attribute,
+    ``value == ""``) from ``<input value="">``.
+    """
+
+    name: str
+    value: str = ""
+    quote: Optional[str] = None
+    has_value: bool = False
+    line: int = 0
+    column: int = 0
+
+    @property
+    def lowered(self) -> str:
+        return self.name.lower()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.has_value:
+            return f"Attribute({self.name})"
+        q = self.quote or ""
+        return f"Attribute({self.name}={q}{self.value}{q})"
+
+
+@dataclass
+class Token:
+    """Base class for all tokens."""
+
+    line: int
+    column: int
+    raw: str
+    issues: list[LexicalIssue] = field(default_factory=list)
+
+    kind: TokenKind = field(init=False, repr=False)
+
+    def add_issue(self, issue: LexicalIssue) -> None:
+        if issue not in self.issues:
+            self.issues.append(issue)
+
+    def has_issue(self, issue: LexicalIssue) -> bool:
+        return issue in self.issues
+
+
+@dataclass
+class StartTag(Token):
+    """``<NAME attr=value ...>`` -- possibly self-closing (XHTML style)."""
+
+    name: str = ""
+    attributes: list[Attribute] = field(default_factory=list)
+    self_closing: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = TokenKind.START_TAG
+
+    @property
+    def lowered(self) -> str:
+        return self.name.lower()
+
+    def get(self, attr_name: str) -> Optional[Attribute]:
+        """Return the first attribute with the given (case-insensitive) name."""
+        wanted = attr_name.lower()
+        for attr in self.attributes:
+            if attr.lowered == wanted:
+                return attr
+        return None
+
+    def has_attribute(self, attr_name: str) -> bool:
+        return self.get(attr_name) is not None
+
+    def attribute_names(self) -> list[str]:
+        return [attr.lowered for attr in self.attributes]
+
+    def duplicated_attributes(self) -> list[str]:
+        """Names that appear more than once, in first-appearance order."""
+        seen: set[str] = set()
+        dupes: list[str] = []
+        for attr in self.attributes:
+            name = attr.lowered
+            if name in seen and name not in dupes:
+                dupes.append(name)
+            seen.add(name)
+        return dupes
+
+
+@dataclass
+class EndTag(Token):
+    """``</NAME>``."""
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = TokenKind.END_TAG
+
+    @property
+    def lowered(self) -> str:
+        return self.name.lower()
+
+
+@dataclass
+class Text(Token):
+    """A run of character data between tags.
+
+    ``entities`` lists the entity references found in the run as
+    ``(name, line, column, known, terminated)`` tuples; the rules use it
+    for unknown-entity and unterminated-entity messages.
+    """
+
+    text: str = ""
+    entities: list[tuple[str, int, int, bool, bool]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.kind = TokenKind.TEXT
+
+    @property
+    def is_whitespace(self) -> bool:
+        return not self.text.strip()
+
+
+@dataclass
+class Comment(Token):
+    """``<!-- ... -->``.
+
+    ``text`` is the comment body with delimiters stripped.  The tokenizer
+    flags markup-like content and nested comment openers via ``issues``.
+    """
+
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = TokenKind.COMMENT
+
+
+@dataclass
+class Declaration(Token):
+    """``<!DOCTYPE ...>`` and other ``<!...>`` declarations."""
+
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = TokenKind.DECLARATION
+
+    @property
+    def is_doctype(self) -> bool:
+        return self.text.lstrip().lower().startswith("doctype")
+
+
+@dataclass
+class ProcessingInstruction(Token):
+    """``<? ... >`` -- rare in HTML, but the tokenizer must not choke."""
+
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = TokenKind.PI
+
+
+def iter_tags(tokens: Iterator[Token]) -> Iterator[Token]:
+    """Yield only start and end tags from a token stream."""
+    for token in tokens:
+        if token.kind in (TokenKind.START_TAG, TokenKind.END_TAG):
+            yield token

@@ -1,0 +1,17 @@
+"""Meta tool -- combined checking services (paper section 3.6).
+
+"Meta tools incorporate two or more of the categories described above,
+usually merging the results into a single report."  The WebTechs service
+combined strict validation with optional weblint output and a page
+weight; the W3C validator combined SP with weblint.
+
+:class:`~repro.meta.checker.MetaChecker` is that service as a library:
+one call runs weblint, the strict SGML-style validator, the stylesheet
+and script plugins (already inside weblint), link validation (when given
+a user agent) and the page-weight estimate, and merges everything into a
+single structured report with per-tool sections.
+"""
+
+from repro.meta.checker import MetaChecker, MetaReport, ToolSection
+
+__all__ = ["MetaChecker", "MetaReport", "ToolSection"]

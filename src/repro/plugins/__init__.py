@@ -1,0 +1,28 @@
+"""Content plugins -- validating non-HTML content inside pages.
+
+Paper section 6.1 (future plans): "Support for 'plugins' which are used
+to validate non-HTML content (e.g. to validate stylesheets).  This may
+require an outer framework, where weblint is just one such plugin, for
+HTML."
+
+The framework here is the inner one: a :class:`ContentPlugin` claims
+element content (``<style>``, ``<script>``) and/or attribute values
+(``style="..."``) and emits messages through the normal configurable
+gateway.  Plugins ship for CSS (:mod:`repro.plugins.csslint`) and a
+basic script sanity check (:mod:`repro.plugins.scriptlint`); users add
+their own by passing instances to :class:`PluginRule`.
+"""
+
+from repro.plugins.base import ContentPlugin, PluginRule, default_plugins
+from repro.plugins.csslint import CSSPlugin, parse_declarations, parse_stylesheet
+from repro.plugins.scriptlint import ScriptPlugin
+
+__all__ = [
+    "ContentPlugin",
+    "PluginRule",
+    "default_plugins",
+    "CSSPlugin",
+    "ScriptPlugin",
+    "parse_declarations",
+    "parse_stylesheet",
+]

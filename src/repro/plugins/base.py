@@ -1,0 +1,102 @@
+"""Plugin protocol and the rule that drives plugins from the checker."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.context import CheckContext, OpenElement
+from repro.core.rules.base import Rule
+from repro.html.spec import ElementDef
+from repro.html.tokens import EndTag, StartTag, Text
+
+
+class ContentPlugin:
+    """Base class for non-HTML content validators.
+
+    A plugin can claim whole-element content (``claims_element``) and/or
+    single attribute values (``claims_attribute``); the corresponding
+    ``check_*`` method emits diagnostics through ``context.emit`` so the
+    user's enable/disable configuration applies to plugin messages
+    exactly like core ones.
+    """
+
+    name = "plugin"
+
+    def claims_element(self, element_name: str, tag: StartTag) -> bool:
+        return False
+
+    def claims_attribute(self, element_name: str, attribute_name: str) -> bool:
+        return False
+
+    def check_content(
+        self, context: CheckContext, content: str, start_line: int
+    ) -> None:
+        """Validate the text content of a claimed element."""
+
+    def check_attribute_value(
+        self, context: CheckContext, value: str, line: int
+    ) -> None:
+        """Validate a claimed attribute's value."""
+
+
+class PluginRule(Rule):
+    """Feeds claimed content to plugins as the token stream passes."""
+
+    name = "plugins"
+
+    def __init__(self, plugins: Optional[Sequence[ContentPlugin]] = None) -> None:
+        self.plugins: list[ContentPlugin] = (
+            list(plugins) if plugins is not None else default_plugins()
+        )
+
+    def start_document(self, context: CheckContext) -> None:
+        # (plugin, element name, start line, buffered text parts)
+        self._capturing: list[tuple[ContentPlugin, str, int, list[str]]] = []
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        name = tag.lowered
+        for plugin in self.plugins:
+            for attr in tag.attributes:
+                if attr.has_value and plugin.claims_attribute(name, attr.lowered):
+                    plugin.check_attribute_value(
+                        context, attr.value, attr.line or tag.line
+                    )
+            if plugin.claims_element(name, tag) and not tag.self_closing:
+                self._capturing.append((plugin, name, tag.line, []))
+
+    def handle_text(self, context: CheckContext, token: Text) -> None:
+        for _plugin, _name, _line, parts in self._capturing:
+            parts.append(token.text)
+
+    def handle_element_closed(
+        self,
+        context: CheckContext,
+        open_element: OpenElement,
+        end_tag: Optional[EndTag],
+        implicit: bool,
+    ) -> None:
+        remaining: list[tuple[ContentPlugin, str, int, list[str]]] = []
+        for plugin, name, line, parts in self._capturing:
+            if name == open_element.name:
+                plugin.check_content(context, "".join(parts), line)
+            else:
+                remaining.append((plugin, name, line, parts))
+        self._capturing = remaining
+
+    def end_document(self, context: CheckContext) -> None:
+        # Elements never closed still get their content checked.
+        for plugin, _name, line, parts in self._capturing:
+            plugin.check_content(context, "".join(parts), line)
+        self._capturing = []
+
+
+def default_plugins() -> list[ContentPlugin]:
+    from repro.plugins.csslint import CSSPlugin
+    from repro.plugins.scriptlint import ScriptPlugin
+
+    return [CSSPlugin(), ScriptPlugin()]

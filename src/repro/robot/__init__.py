@@ -1,0 +1,29 @@
+"""The poacher robot.
+
+Paper section 4.5: "A robot can be used to invoke weblint on all
+accessible pages on a site.  I have written one, called poacher, which is
+included with the robot module for Perl.  Poacher also performs basic
+link validation."
+
+- :mod:`repro.robot.traversal` -- the generic traversal engine (the
+  ``WWW::Robot`` analogue): breadth-first crawl, same-host policy,
+  robots.txt politeness, page hooks;
+- :mod:`repro.robot.linkcheck` -- HEAD-based link validation with
+  caching and redirect reporting (section 3.5's "broken link robots");
+- :mod:`repro.robot.poacher` -- :class:`Poacher`, tying traversal, lint
+  and link validation into one crawl report.
+"""
+
+from repro.robot.linkcheck import LinkChecker, LinkStatus
+from repro.robot.poacher import CrawlReport, PageResult, Poacher
+from repro.robot.traversal import Robot, TraversalPolicy
+
+__all__ = [
+    "Robot",
+    "TraversalPolicy",
+    "LinkChecker",
+    "LinkStatus",
+    "Poacher",
+    "CrawlReport",
+    "PageResult",
+]

@@ -1,0 +1,83 @@
+"""The ``poacher`` command: crawl a site directory and report.
+
+Since the reproduction has no live network, the command mounts a local
+directory as ``http://localhost/`` on a virtual web and crawls that --
+the same code path a networked poacher would follow, end to end
+(robots.txt included if the directory contains one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config.options import Options
+from repro.core.linter import Weblint
+from repro.robot.poacher import Poacher
+from repro.robot.traversal import TraversalPolicy
+from repro.www.client import UserAgent
+from repro.www.virtualweb import VirtualWeb
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="poacher",
+        description="crawl a site, weblint every page, validate every link",
+    )
+    parser.add_argument(
+        "site_dir",
+        help="directory served as http://localhost/ for the crawl",
+    )
+    parser.add_argument(
+        "--start",
+        default="http://localhost/index.html",
+        help="start URL (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-pages",
+        type=int,
+        default=1000,
+        help="crawl at most this many pages",
+    )
+    parser.add_argument(
+        "--ignore-robots",
+        action="store_true",
+        help="do not honour robots.txt",
+    )
+    parser.add_argument(
+        "--no-links",
+        action="store_true",
+        help="skip link validation (lint only)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    web = VirtualWeb()
+    web.add_site("http://localhost/", args.site_dir)
+    agent = UserAgent(web)
+
+    options = Options.with_defaults()
+    options.follow_links = not args.no_links
+    policy = TraversalPolicy(
+        max_pages=args.max_pages,
+        obey_robots_txt=not args.ignore_robots,
+    )
+    poacher = Poacher(
+        agent, weblint=Weblint(options=options), options=options, policy=policy
+    )
+    report = poacher.crawl(args.start)
+
+    for line in report.summary_lines():
+        sys.stdout.write(line + "\n")
+    for page in report.pages:
+        for diagnostic in page.diagnostics:
+            sys.stdout.write(f"{diagnostic}\n")
+    return 1 if report.total_problems() else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

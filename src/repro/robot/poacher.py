@@ -1,0 +1,170 @@
+"""Poacher: crawl a site, weblint every page, validate every link.
+
+The paper's poacher "can be used to invoke weblint on all accessible
+pages on a site ... Poacher also performs basic link validation"
+(section 4.5).  The robot for Canon's public search engine "uses weblint
+to check all of Canon's public web pages" (section 5.3) -- the embedding
+this class makes a one-liner::
+
+    report = Poacher(agent).crawl("http://site/")
+    report.total_problems()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.options import Options
+from repro.core.diagnostics import Diagnostic
+from repro.core.linter import Weblint
+from repro.robot.linkcheck import FragmentChecker, LinkChecker, LinkStatus
+from repro.robot.traversal import Robot, TraversalPolicy
+from repro.site.links import Link
+from repro.www.client import UserAgent
+from repro.www.message import Response
+
+
+@dataclass
+class PageResult:
+    """Everything poacher learned about one page."""
+
+    url: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    links: list[Link] = field(default_factory=list)
+    broken_links: list[tuple[Link, LinkStatus]] = field(default_factory=list)
+    moved_links: list[tuple[Link, LinkStatus]] = field(default_factory=list)
+    bad_fragments: list[Link] = field(default_factory=list)
+    size_bytes: int = 0
+
+    def problem_count(self) -> int:
+        return (
+            len(self.diagnostics)
+            + len(self.broken_links)
+            + len(self.bad_fragments)
+        )
+
+
+@dataclass
+class CrawlReport:
+    """Site-wide crawl summary."""
+
+    start_url: str
+    pages: list[PageResult] = field(default_factory=list)
+    pages_failed: int = 0
+    urls_skipped_robots: int = 0
+
+    def page(self, url: str) -> Optional[PageResult]:
+        for result in self.pages:
+            if result.url == url:
+                return result
+        return None
+
+    def total_problems(self) -> int:
+        return sum(page.problem_count() for page in self.pages)
+
+    def total_broken_links(self) -> int:
+        return sum(len(page.broken_links) for page in self.pages)
+
+    def clean_pages(self) -> list[str]:
+        return [page.url for page in self.pages if page.problem_count() == 0]
+
+    def summary_lines(self) -> list[str]:
+        """A human-readable crawl summary (what the CLI prints)."""
+        lines = [
+            f"poacher: crawled {len(self.pages)} page(s) from {self.start_url}",
+        ]
+        for page in self.pages:
+            lines.append(
+                f"  {page.url}: {len(page.diagnostics)} weblint message(s), "
+                f"{len(page.broken_links)} broken link(s)"
+            )
+            for link, status in page.broken_links:
+                lines.append(
+                    f"    line {link.line}: broken link {link.url} "
+                    f"({status.describe()})"
+                )
+            for link, status in page.moved_links:
+                lines.append(
+                    f"    line {link.line}: link {link.url} has moved "
+                    f"({status.describe()})"
+                )
+            for link in page.bad_fragments:
+                lines.append(
+                    f"    line {link.line}: fragment of {link.url} "
+                    f"is not defined on the target page"
+                )
+        lines.append(
+            f"total: {self.total_problems()} problem(s), "
+            f"{self.total_broken_links()} broken link(s)"
+        )
+        return lines
+
+
+class Poacher:
+    """The crawling front-end to weblint."""
+
+    def __init__(
+        self,
+        agent: UserAgent,
+        weblint: Optional[Weblint] = None,
+        options: Optional[Options] = None,
+        policy: Optional[TraversalPolicy] = None,
+    ) -> None:
+        self.agent = agent
+        if weblint is None:
+            weblint = Weblint(options=options)
+        self.weblint = weblint
+        self.policy = policy if policy is not None else TraversalPolicy()
+        self.robot = Robot(agent, self.policy)
+        self.link_checker = LinkChecker(agent)
+        self.fragment_checker = FragmentChecker(agent)
+
+    def crawl(self, start_url: str) -> CrawlReport:
+        """Crawl, lint and link-check everything reachable."""
+        report = CrawlReport(start_url=start_url)
+        validate = self.weblint.options.follow_links
+
+        def on_page(url: str, response: Response, links: list[Link]) -> None:
+            result = PageResult(
+                url=url,
+                diagnostics=self.weblint.check_string(response.body, filename=url),
+                links=links,
+                size_bytes=len(response.body),
+            )
+            if validate:
+                check_fragments = self.weblint.options.is_enabled(
+                    "bad-fragment"
+                )
+                for link in links:
+                    if link.is_fragment_only:
+                        if check_fragments and (
+                            self.fragment_checker.fragment_defined(
+                                url, link.url
+                            )
+                            is False
+                        ):
+                            result.bad_fragments.append(link)
+                        continue
+                    if not link.checkable:
+                        continue
+                    status = self.link_checker.check(url, link.url)
+                    if status.broken:
+                        result.broken_links.append((link, status))
+                        continue
+                    if status.redirected_to:
+                        result.moved_links.append((link, status))
+                    if check_fragments and "#" in link.url:
+                        if (
+                            self.fragment_checker.fragment_defined(
+                                url, link.url
+                            )
+                            is False
+                        ):
+                            result.bad_fragments.append(link)
+            report.pages.append(result)
+
+        self.robot.crawl(start_url, on_page)
+        report.pages_failed = self.robot.stats.pages_failed
+        report.urls_skipped_robots = self.robot.stats.urls_skipped_robots
+        return report

@@ -1,0 +1,149 @@
+"""Generic web traversal -- the ``WWW::Robot`` analogue.
+
+A breadth-first crawler over a :class:`~repro.www.client.UserAgent`:
+maintains a frontier and a visited set, restricts itself to the starting
+host by default, honours robots.txt, and hands every fetched page to a
+callback.  Both poacher and ad-hoc scripts build on this engine, just as
+the paper's poacher builds on the Perl robot module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.site.links import extract_links
+from repro.www.client import FetchError, UserAgent
+from repro.www.message import Response
+from repro.www.robotstxt import RobotsTxt
+from repro.www.url import URL, urljoin, urlparse
+
+PageCallback = Callable[[str, Response, list], None]
+
+
+@dataclass
+class TraversalPolicy:
+    """Knobs controlling a crawl."""
+
+    max_pages: int = 1000
+    same_host_only: bool = True
+    obey_robots_txt: bool = True
+    follow_resources: bool = False  # also fetch img/script/... targets
+    agent_name: str = "poacher-repro/2.0"
+
+
+@dataclass
+class CrawlStats:
+    pages_fetched: int = 0
+    pages_failed: int = 0
+    urls_skipped_robots: int = 0
+    urls_skipped_offsite: int = 0
+
+
+class Robot:
+    """Breadth-first traversal engine."""
+
+    def __init__(
+        self,
+        agent: UserAgent,
+        policy: Optional[TraversalPolicy] = None,
+    ) -> None:
+        self.agent = agent
+        self.policy = policy if policy is not None else TraversalPolicy()
+        self.stats = CrawlStats()
+        self._robots_cache: dict[str, RobotsTxt] = {}
+
+    # -- robots.txt politeness ---------------------------------------------------
+
+    def _robots_for(self, url: URL) -> RobotsTxt:
+        host_key = f"{url.host}:{url.effective_port()}"
+        if host_key not in self._robots_cache:
+            robots_url = str(
+                URL(scheme=url.scheme or "http", host=url.host, port=url.port,
+                    path="/robots.txt")
+            )
+            try:
+                response = self.agent.get(robots_url)
+            except FetchError:
+                response = None
+            if response is not None and response.ok:
+                self._robots_cache[host_key] = RobotsTxt(response.body)
+            else:
+                self._robots_cache[host_key] = RobotsTxt("")
+        return self._robots_cache[host_key]
+
+    def allowed(self, url: str) -> bool:
+        if not self.policy.obey_robots_txt:
+            return True
+        parsed = urlparse(url)
+        return self._robots_for(parsed).allowed(
+            parsed.path or "/", self.policy.agent_name
+        )
+
+    # -- the crawl ----------------------------------------------------------------------
+
+    def crawl(
+        self,
+        start_url: str,
+        on_page: Optional[PageCallback] = None,
+    ) -> list[str]:
+        """Breadth-first crawl from ``start_url``.
+
+        ``on_page(url, response, links)`` is called for every
+        successfully fetched HTML page.  Returns the list of page URLs
+        visited, in crawl order.
+        """
+        start = urljoin(start_url, "")
+        frontier: deque[str] = deque([str(start.without_fragment())])
+        seen: set[str] = set(frontier)
+        processed: set[str] = set()  # final URLs handed to on_page
+        visited: list[str] = []
+
+        while frontier and self.stats.pages_fetched < self.policy.max_pages:
+            url = frontier.popleft()
+            parsed = urlparse(url)
+
+            if self.policy.same_host_only and not parsed.same_host(start):
+                self.stats.urls_skipped_offsite += 1
+                continue
+            if not self.allowed(url):
+                self.stats.urls_skipped_robots += 1
+                continue
+
+            try:
+                response = self.agent.get(url)
+            except FetchError:
+                self.stats.pages_failed += 1
+                continue
+            if not response.ok:
+                self.stats.pages_failed += 1
+                continue
+
+            if response.url in processed:
+                # A redirect landed on a page already handled (or a page
+                # both linked directly and reached via redirect earlier).
+                continue
+            processed.add(response.url)
+            seen.add(response.url)
+            self.stats.pages_fetched += 1
+            visited.append(response.url)
+            if not response.is_html:
+                continue
+
+            links = extract_links(response.body)
+            if on_page is not None:
+                on_page(response.url, response, links)
+
+            for link in links:
+                if not link.checkable:
+                    continue
+                if link.kind == "resource" and not self.policy.follow_resources:
+                    continue
+                absolute = str(
+                    urljoin(response.url, link.url).without_fragment()
+                )
+                if absolute not in seen:
+                    seen.add(absolute)
+                    frontier.append(absolute)
+        return visited

@@ -1,0 +1,44 @@
+"""Orphan-page computation.
+
+A page is an *orphan* when no other checked page links to it (paper
+section 4.5).  Index pages are conventionally entry points -- reached
+from outside the site or by truncating URLs -- so the site root's index
+is never reported as an orphan.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def find_orphans(
+    pages: Iterable[Node],
+    incoming: Mapping[Node, int],
+    roots: Iterable[Node] = (),
+) -> list[Node]:
+    """Pages with zero incoming links, minus designated roots.
+
+    ``incoming`` maps a page to its in-degree in the site link graph
+    (missing keys count as zero).  ``roots`` are never orphans.
+    """
+    root_set = set(roots)
+    return [
+        page
+        for page in pages
+        if page not in root_set and incoming.get(page, 0) == 0
+    ]
+
+
+def build_incoming_counts(
+    edges: Iterable[tuple[Node, Node]],
+) -> dict[Node, int]:
+    """In-degree per target, ignoring self-links (a page citing itself
+    does not make it reachable)."""
+    counts: dict[Node, int] = {}
+    for source, target in edges:
+        if source == target:
+            continue
+        counts[target] = counts.get(target, 0) + 1
+    return counts

@@ -1,0 +1,116 @@
+"""Rendering whole-site reports -- the Spot-style summary (section 3.5).
+
+"Spot ... is run on the web site's host machine to analyse a web site for
+problems.  Problems identified include HTML syntax errors, broken links,
+missing index files, non-portable host references, and summary analyses
+of your site."  This module renders a :class:`~repro.site.sitecheck.SiteReport`
+(plus its navigation analysis) as exactly that kind of summary, in plain
+text or as an HTML page that itself lints clean.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import Category
+from repro.gateway.htmlreport import escape, render_page, render_table
+from repro.site.sitecheck import SiteReport
+
+#: Site-level analyses broken out in the summary, in display order.
+_SITE_MESSAGES = ("bad-link", "bad-fragment", "orphan-page", "directory-index")
+
+
+def _counts(report: SiteReport) -> dict[str, int]:
+    counts = {
+        "pages": len(report.pages),
+        "pages with problems": len(report.pages_with_problems()),
+        "total messages": report.count(),
+    }
+    for category in Category:
+        counts[f"{category.value}s"] = sum(
+            1
+            for diagnostic in report.all_diagnostics()
+            if diagnostic.category is category
+        )
+    for message_id in _SITE_MESSAGES:
+        counts[message_id] = report.count(message_id)
+    return counts
+
+
+def render_text_report(report: SiteReport, top_pages: int = 10) -> str:
+    """A terminal-friendly site summary."""
+    lines = [f"site report: {report.root}", "=" * 60]
+    counts = _counts(report)
+    width = max(len(key) for key in counts)
+    for key, value in counts.items():
+        lines.append(f"  {key.ljust(width)}  {value}")
+
+    worst = sorted(
+        (
+            (len(report.page_diagnostics.get(page, [])), page)
+            for page in report.pages
+        ),
+        reverse=True,
+    )
+    noisy = [(count, page) for count, page in worst if count]
+    if noisy:
+        lines.append("")
+        lines.append(f"pages with the most messages (top {top_pages}):")
+        for count, page in noisy[:top_pages]:
+            lines.append(f"  {count:4}  {page}")
+
+    if report.pages:
+        navigation = report.navigation()
+        lines.append("")
+        lines.extend(navigation.summary_lines())
+    return "\n".join(lines)
+
+
+def render_html_report(report: SiteReport) -> str:
+    """A complete HTML page summarising the site check."""
+    counts = _counts(report)
+    fragments = [
+        f"<p>Site checked: <code>{escape(report.root)}</code></p>",
+        "<h2>Summary</h2>",
+        render_table(
+            [(key, str(value)) for key, value in counts.items()],
+            summary="site check summary",
+        ),
+    ]
+
+    problem_pages = report.pages_with_problems()
+    if problem_pages:
+        fragments.append("<h2>Problems by page</h2>")
+        for page in problem_pages:
+            diagnostics = report.page_diagnostics[page]
+            items = "\n".join(
+                f'  <li class="weblint-{d.category.value}">'
+                f"<b>line {d.line}</b>: {escape(d.text)}</li>"
+                for d in diagnostics
+            )
+            fragments.append(
+                f"<h3>{escape(page)}</h3>\n<ul>\n{items}\n</ul>"
+            )
+    if report.site_diagnostics:
+        items = "\n".join(
+            f"  <li>{escape(d.text)}</li>" for d in report.site_diagnostics
+        )
+        fragments.append(f"<h2>Site-level findings</h2>\n<ul>\n{items}\n</ul>")
+
+    if report.pages:
+        navigation = report.navigation()
+        rows = [
+            ("reachable pages", str(len(navigation.depths))),
+            ("maximum click depth", str(navigation.max_depth)),
+            ("average click depth", f"{navigation.average_depth:.1f}"),
+            ("unreachable by browsing",
+             ", ".join(navigation.unreachable) or "none"),
+            ("dead ends", ", ".join(navigation.dead_ends) or "none"),
+        ]
+        fragments.append("<h2>Navigation</h2>")
+        fragments.append(render_table(rows, summary="navigation analysis"))
+
+    # Keep our own title under weblint's title-length limit.
+    site_name = report.root.rstrip("/").rsplit("/", 1)[-1] or report.root
+    title = f"Site report for {site_name}"
+    if len(title) > 60:
+        title = "Site report"
+    return render_page(title, fragments)

@@ -1,0 +1,280 @@
+"""The -R whole-site checker.
+
+Runs weblint over every HTML file under a root directory and adds the
+site-level analyses the paper attaches to the ``-R`` switch:
+
+- ``directory-index``: directories without an index file;
+- ``orphan-page``: pages no other checked page links to;
+- ``bad-link``: relative links whose target file does not exist.
+
+External (``http:`` ...) links are left to the poacher robot -- exactly
+the division of labour the paper describes between ``-R`` and the robot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.config.options import Options
+from repro.core.diagnostics import Diagnostic
+from repro.core.linter import Weblint
+from repro.site.links import Link, extract_anchor_names, extract_links
+from repro.site.orphans import build_incoming_counts, find_orphans
+from repro.site.walker import find_html_files, has_index_file, iter_directories
+
+
+@dataclass
+class SiteReport:
+    """Everything the site check found."""
+
+    root: str
+    pages: list[str] = field(default_factory=list)
+    page_diagnostics: dict[str, list[Diagnostic]] = field(default_factory=dict)
+    site_diagnostics: list[Diagnostic] = field(default_factory=list)
+    link_graph: list[tuple[str, str]] = field(default_factory=list)
+
+    def all_diagnostics(self) -> list[Diagnostic]:
+        result: list[Diagnostic] = []
+        for page in self.pages:
+            result.extend(self.page_diagnostics.get(page, []))
+        result.extend(self.site_diagnostics)
+        return result
+
+    def count(self, message_id: Optional[str] = None) -> int:
+        diagnostics = self.all_diagnostics()
+        if message_id is None:
+            return len(diagnostics)
+        return sum(1 for d in diagnostics if d.message_id == message_id)
+
+    def pages_with_problems(self) -> list[str]:
+        return [
+            page
+            for page in self.pages
+            if self.page_diagnostics.get(page)
+        ]
+
+    def navigation(self, root: Optional[str] = None) -> "NavigationReport":
+        """Navigational analysis over the site's link graph.
+
+        ``root`` defaults to the first index page found (users enter a
+        site at its index), falling back to the first page checked.
+        """
+        from repro.site.navigation import NavigationReport, analyse_navigation
+
+        if root is None:
+            root = next(
+                (page for page in self.pages
+                 if page.rsplit("/", 1)[-1].startswith("index.")),
+                self.pages[0] if self.pages else "",
+            )
+        return analyse_navigation(self.pages, self.link_graph, root=root)
+
+
+class SiteChecker:
+    """Check a directory tree of HTML pages."""
+
+    def __init__(
+        self,
+        weblint: Optional[Weblint] = None,
+        options: Optional[Options] = None,
+    ) -> None:
+        if weblint is None:
+            weblint = Weblint(options=options)
+        self.weblint = weblint
+        self.options = weblint.options
+
+    # -- main entry point -------------------------------------------------------
+
+    def check_directory(self, root: Union[str, Path]) -> SiteReport:
+        root = Path(root)
+        report = SiteReport(root=str(root))
+        files = find_html_files(root)
+        page_links: dict[str, list[Link]] = {}
+
+        for path in files:
+            relative = _relative_name(path, root)
+            report.pages.append(relative)
+            report.page_diagnostics[relative] = self.weblint.check_file(path)
+            try:
+                source = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                source = ""
+            page_links[relative] = extract_links(source)
+
+        self._check_directory_indexes(root, report)
+        self._check_local_links(root, report, page_links)
+        self._check_orphans(root, report, page_links)
+        return report
+
+    # -- site-level checks ----------------------------------------------------------
+
+    def _emit(
+        self,
+        report: SiteReport,
+        message_id: str,
+        *,
+        filename: str,
+        line: int = 0,
+        attach_to: Optional[str] = None,
+        **arguments: object,
+    ) -> None:
+        if not self.options.is_enabled(message_id):
+            return
+        diagnostic = Diagnostic.build(
+            message_id, line=line, filename=filename, **arguments
+        )
+        if attach_to is not None:
+            report.page_diagnostics.setdefault(attach_to, []).append(diagnostic)
+        else:
+            report.site_diagnostics.append(diagnostic)
+
+    def _check_directory_indexes(self, root: Path, report: SiteReport) -> None:
+        expected = ", ".join(self.options.index_filenames)
+        for directory in iter_directories(root):
+            # Only directories that actually hold pages need an index.
+            holds_pages = any(
+                child.suffix.lower() in (".html", ".htm", ".shtml", ".xhtml")
+                for child in directory.iterdir()
+                if child.is_file()
+            )
+            if not holds_pages:
+                continue
+            if not has_index_file(directory, tuple(self.options.index_filenames)):
+                self._emit(
+                    report,
+                    "directory-index",
+                    filename=str(directory),
+                    directory=_relative_name(directory, root) or ".",
+                    expected=expected,
+                )
+
+    def _check_local_links(
+        self,
+        root: Path,
+        report: SiteReport,
+        page_links: dict[str, list[Link]],
+    ) -> None:
+        if not self.options.follow_links:
+            return
+        anchor_cache: dict[str, set[str]] = {}
+        for page, links in page_links.items():
+            page_path = root / page
+            for link in links:
+                if link.scheme:
+                    continue  # external links are the robot's job
+                target_text, _, fragment = link.url.partition("#")
+                if not target_text:
+                    # Same-page fragment: #section must exist here.
+                    if fragment:
+                        self._check_fragment(
+                            report, page, link, page_path, fragment,
+                            anchor_cache,
+                        )
+                    continue
+                if target_text.startswith("/"):
+                    target = root / target_text.lstrip("/")
+                else:
+                    target = page_path.parent / target_text
+                try:
+                    resolved = target.resolve()
+                except OSError:  # pragma: no cover - pathological names
+                    resolved = target
+                if not resolved.exists():
+                    self._emit(
+                        report,
+                        "bad-link",
+                        filename=page,
+                        line=link.line,
+                        attach_to=page,
+                        target=link.url,
+                        status="file not found",
+                    )
+                elif fragment and resolved.is_file():
+                    self._check_fragment(
+                        report, page, link, resolved, fragment, anchor_cache
+                    )
+
+    def _check_fragment(
+        self,
+        report: SiteReport,
+        page: str,
+        link: Link,
+        target_path: Path,
+        fragment: str,
+        anchor_cache: dict[str, set[str]],
+    ) -> None:
+        """Does ``target_path`` define the anchor ``fragment``?"""
+        key = str(target_path)
+        if key not in anchor_cache:
+            try:
+                source = target_path.read_text(
+                    encoding="utf-8", errors="replace"
+                )
+            except OSError:
+                anchor_cache[key] = set()
+            else:
+                anchor_cache[key] = extract_anchor_names(source)
+        if fragment not in anchor_cache[key]:
+            self._emit(
+                report,
+                "bad-fragment",
+                filename=page,
+                line=link.line,
+                attach_to=page,
+                target=link.url.split("#", 1)[0] or "this page",
+                fragment=fragment,
+            )
+
+    def _check_orphans(
+        self,
+        root: Path,
+        report: SiteReport,
+        page_links: dict[str, list[Link]],
+    ) -> None:
+        edges: list[tuple[str, str]] = []
+        known = set(report.pages)
+        for page, links in page_links.items():
+            page_path = root / page
+            for link in links:
+                if link.scheme or link.is_fragment_only:
+                    continue
+                target_text = link.url.split("#", 1)[0].split("?", 1)[0]
+                if not target_text:
+                    continue
+                if target_text.startswith("/"):
+                    candidate = (root / target_text.lstrip("/"))
+                else:
+                    candidate = page_path.parent / target_text
+                if candidate.is_dir():
+                    for index_name in self.options.index_filenames:
+                        if (candidate / index_name).is_file():
+                            candidate = candidate / index_name
+                            break
+                try:
+                    relative = _relative_name(candidate.resolve(), root.resolve())
+                except ValueError:
+                    continue  # points outside the site
+                if relative in known:
+                    edges.append((page, relative))
+                    report.link_graph.append((page, relative))
+
+        incoming = build_incoming_counts(edges)
+        roots = [
+            _relative_name(root / name, root)
+            for name in self.options.index_filenames
+            if (root / name).is_file()
+        ]
+        for orphan in find_orphans(report.pages, incoming, roots=roots):
+            self._emit(
+                report,
+                "orphan-page",
+                filename=orphan,
+                attach_to=orphan,
+                page=orphan,
+            )
+
+
+def _relative_name(path: Path, root: Path) -> str:
+    return str(path.relative_to(root)).replace("\\", "/")

@@ -1,0 +1,35 @@
+"""Filesystem walking for the -R site check."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.core import constants
+
+
+def find_html_files(root: Path | str) -> list[Path]:
+    """All HTML files under ``root``, sorted for deterministic reports."""
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    files = [
+        path
+        for path in root.rglob("*")
+        if path.is_file() and path.suffix.lower() in constants.HTML_EXTENSIONS
+    ]
+    return sorted(files)
+
+
+def iter_directories(root: Path | str) -> Iterator[Path]:
+    """``root`` and every directory below it, sorted."""
+    root = Path(root)
+    if not root.is_dir():
+        return
+    yield root
+    for path in sorted(p for p in root.rglob("*") if p.is_dir()):
+        yield path
+
+
+def has_index_file(directory: Path, index_filenames: tuple[str, ...]) -> bool:
+    return any((directory / name).is_file() for name in index_filenames)

@@ -1,0 +1,25 @@
+"""Test-suite support -- the ``Weblint::Test`` module.
+
+Paper section 5.7: "A key tool in the development of weblint has been the
+test-suite.  This serves two purposes: basic testing of the different
+modules, and a large test set of HTML samples, which are believed to be
+valid or invalid for specific versions of HTML."
+
+- :mod:`repro.testing.samples` -- the curated sample corpus: HTML
+  fragments each annotated with the messages it must (and must not)
+  provoke, and the HTML version it applies to;
+- :mod:`repro.testing.harness` -- run samples through the checker and
+  diff expectations, both for pytest and for ad-hoc exploration.
+"""
+
+from repro.testing.harness import SampleFailure, check_sample, run_samples
+from repro.testing.samples import SAMPLES, Sample, samples_by_message
+
+__all__ = [
+    "Sample",
+    "SAMPLES",
+    "samples_by_message",
+    "check_sample",
+    "run_samples",
+    "SampleFailure",
+]

@@ -1,0 +1,59 @@
+"""Run corpus samples through the checker and diff expectations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.options import Options
+from repro.core.linter import Weblint
+from repro.testing.samples import SAMPLES, Sample
+
+
+@dataclass
+class SampleFailure:
+    """One sample whose behaviour differed from its annotation."""
+
+    sample: Sample
+    missing: tuple[str, ...] = ()
+    unexpected: tuple[str, ...] = ()
+    got: tuple[str, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        parts = [f"sample {self.sample.name!r} (spec {self.sample.spec})"]
+        if self.missing:
+            parts.append(f"missing: {', '.join(self.missing)}")
+        if self.unexpected:
+            parts.append(f"forbidden but present: {', '.join(self.unexpected)}")
+        parts.append(f"got: {', '.join(self.got) or '(nothing)'}")
+        return "; ".join(parts)
+
+
+def check_sample(sample: Sample) -> SampleFailure | None:
+    """Run one sample; return a failure record or None when it passes."""
+    options = Options.with_defaults()
+    options.spec_name = sample.spec
+    if sample.enable:
+        options.enable(*sample.enable)
+    weblint = Weblint(options=options)
+    got = {d.message_id for d in weblint.check_string(sample.html)}
+
+    missing = tuple(sorted(set(sample.expect) - got))
+    unexpected = tuple(sorted(set(sample.forbid) & got))
+    if missing or unexpected:
+        return SampleFailure(
+            sample=sample,
+            missing=missing,
+            unexpected=unexpected,
+            got=tuple(sorted(got)),
+        )
+    return None
+
+
+def run_samples(samples: tuple[Sample, ...] = SAMPLES) -> list[SampleFailure]:
+    """Run the whole corpus; return every failure."""
+    failures = []
+    for sample in samples:
+        failure = check_sample(sample)
+        if failure is not None:
+            failures.append(failure)
+    return failures

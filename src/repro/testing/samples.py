@@ -1,0 +1,499 @@
+"""The curated HTML sample corpus.
+
+Each :class:`Sample` is a small document annotated with the message ids
+it must provoke (``expect``) and must not provoke (``forbid``) under a
+given HTML version.  The corpus covers every check named in the paper
+(section 4.3's examples in particular) plus the version-dependence cases
+of section 5.5.
+
+Most samples wrap a body fragment in a known-clean skeleton via
+:func:`document`, so only the behaviour under test shows up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def document(body: str, head_extra: str = "", title: str = "Sample page") -> str:
+    """Wrap ``body`` in a default-clean HTML 4.0 document."""
+    return (
+        '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+        "<html>\n<head>\n"
+        f"<title>{title}</title>\n{head_extra}"
+        "</head>\n<body>\n"
+        f"{body}\n"
+        "</body>\n</html>\n"
+    )
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One corpus entry."""
+
+    name: str
+    html: str
+    expect: tuple[str, ...] = ()
+    forbid: tuple[str, ...] = ()
+    spec: str = "html40"
+    enable: tuple[str, ...] = ()
+    description: str = ""
+
+
+SAMPLES: tuple[Sample, ...] = (
+    # -- clean documents stay clean ------------------------------------------------
+    Sample(
+        "clean-minimal",
+        document("<p>hello world</p>"),
+        forbid=("unclosed-element", "require-doctype", "html-outer",
+                "require-title", "empty-container"),
+        description="A minimal valid page produces no default messages.",
+    ),
+    Sample(
+        "clean-table",
+        document(
+            '<table border="1" summary="s">'
+            "<tr><th>h</th></tr><tr><td>d</td></tr></table>"
+        ),
+        forbid=("required-context", "unclosed-element"),
+    ),
+    Sample(
+        "clean-form",
+        document(
+            '<form action="run.cgi" method="post">'
+            '<p><label>Name <input type="text" name="n"></label></p>'
+            '<p><textarea name="t" rows="4" cols="40">x</textarea></p>'
+            "</form>"
+        ),
+        forbid=("required-attribute", "unknown-attribute"),
+    ),
+    # -- section 4.3 error examples ---------------------------------------------------
+    Sample(
+        "missing-a-close",
+        document('<p><a href="x.html">anchor text</p>'),
+        expect=("unclosed-element",),
+        description="Missing close tag for a container that requires it (A).",
+    ),
+    Sample(
+        "mistyped-element",
+        document("<blockqoute><p>quoted</p></blockqoute>"),
+        expect=("unknown-element",),
+        description="Mis-typed element names, e.g. BLOCKQOUTE.",
+    ),
+    Sample(
+        "textarea-missing-rows-cols",
+        document('<form action="a.cgi"><textarea name="t">x</textarea></form>'),
+        expect=("required-attribute",),
+        description="Forgetting required attributes ROWS and COLS on TEXTAREA.",
+    ),
+    # -- section 4.3 warning examples -----------------------------------------------------
+    Sample(
+        "single-quoted-value",
+        document("<p><a href='x.html'>anchor text</a></p>"),
+        expect=("attribute-delimiter",),
+        description="Single-quote delimiters break some clients.",
+    ),
+    Sample(
+        "img-without-size",
+        document('<p><img src="x.gif" alt="x"></p>'),
+        expect=("img-size",),
+        forbid=("img-alt",),
+        description="IMG without WIDTH/HEIGHT slows page layout.",
+    ),
+    Sample(
+        "img-without-alt",
+        document('<p><img src="x.gif" width="10" height="10"></p>'),
+        expect=("img-alt",),
+        forbid=("img-size",),
+    ),
+    Sample(
+        "markup-in-comment",
+        document("<p>ok</p>\n<!-- <b>hidden</b> -->"),
+        expect=("markup-in-comment",),
+        description="Commented-out markup confuses quick-and-dirty parsers.",
+    ),
+    Sample(
+        "deprecated-listing",
+        document("<listing>some old text</listing>"),
+        expect=("deprecated-element",),
+        description="Use of deprecated LISTING; use PRE instead.",
+    ),
+    # -- section 4.3 style examples ---------------------------------------------------------
+    Sample(
+        "click-here-anchor",
+        document('<p>Click <a href="x.html">here</a> for details.</p>'),
+        expect=("here-anchor",),
+        enable=("here-anchor",),
+        description='Content-free anchor text ("click here").',
+    ),
+    Sample(
+        "physical-markup",
+        document("<p><b>bold words</b></p>"),
+        expect=("physical-font",),
+        enable=("physical-font",),
+        description="Physical <B> rather than logical <STRONG>.",
+    ),
+    # -- structure errors ----------------------------------------------------------------------
+    Sample(
+        "overlap",
+        document('<p><b><a href="x.html">text</b></a></p>'),
+        expect=("overlapped-element",),
+        forbid=("illegal-closing",),
+    ),
+    Sample(
+        "heading-mismatch",
+        document("<h1>title</h2>\n<p>body</p>"),
+        expect=("heading-mismatch",),
+    ),
+    Sample(
+        "heading-skip",
+        document("<h1>one</h1><p>x</p><h4>four</h4><p>y</p>"),
+        expect=("heading-order",),
+    ),
+    Sample(
+        "unmatched-close",
+        document("<p>text</p></strong>"),
+        expect=("illegal-closing",),
+    ),
+    Sample(
+        "nested-anchor",
+        document('<p><a href="a.html">x <a href="b.html">y</a></a></p>'),
+        expect=("nested-element",),
+    ),
+    Sample(
+        "li-outside-list",
+        document("<li>item</li>"),
+        expect=("required-context",),
+    ),
+    Sample(
+        "once-only-body",
+        document("<p>one</p>\n</body>\n<body>\n<p>two</p>"),
+        expect=("once-only",),
+    ),
+    Sample(
+        "head-element-in-body",
+        document('<p>x</p><base href="http://e.com/">'),
+        expect=("head-element",),
+    ),
+    Sample(
+        "empty-title",
+        (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            "<html><head><title></title></head>"
+            "<body><p>x</p></body></html>"
+        ),
+        expect=("empty-container",),
+    ),
+    Sample(
+        "closing-attribute",
+        document('<p>x</p><div align="center"><p>y</p></div align="center">'),
+        expect=("closing-attribute",),
+    ),
+    Sample(
+        "empty-angle-brackets",
+        document("<p>text <> more</p>"),
+        expect=("empty-tag",),
+    ),
+    Sample(
+        "anchor-without-attributes",
+        document("<p><a>text</a></p>"),
+        expect=("expected-attribute",),
+    ),
+    Sample(
+        "leading-whitespace-tag",
+        document("<p>a < b>bold</b></p>"),
+        expect=("leading-whitespace",),
+        description="'< b>' is parsed as a B tag with leading whitespace.",
+    ),
+    # -- attributes --------------------------------------------------------------------------------
+    Sample(
+        "unknown-attribute",
+        document('<p zorp="1">x</p>'),
+        expect=("unknown-attribute",),
+    ),
+    Sample(
+        "bad-color-value",
+        document("<p>x</p>", ),
+        forbid=(),
+    ),
+    Sample(
+        "body-bgcolor-format",
+        (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            '<html><head><title>t</title></head>'
+            '<body bgcolor="fffff"><p>x</p></body></html>'
+        ),
+        expect=("attribute-format",),
+    ),
+    Sample(
+        "unquoted-value-needs-quotes",
+        (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            "<html><head><title>t</title></head>"
+            "<body text=#00ff00><p>x</p></body></html>"
+        ),
+        expect=("quote-attribute-value",),
+        forbid=("attribute-format",),
+    ),
+    Sample(
+        "unquoted-safe-value",
+        document('<table border=1 summary="s"><tr><td>x</td></tr></table>'),
+        forbid=("quote-attribute-value",),
+        description="SGML name-character values may be unquoted.",
+    ),
+    Sample(
+        "repeated-attribute",
+        document('<p><img src="a.gif" src="b.gif" alt="x" width="1" height="1"></p>'),
+        expect=("repeated-attribute",),
+    ),
+    Sample(
+        "odd-quotes",
+        document('<p><a href="x.html>text</a></p>'),
+        expect=("odd-quotes",),
+    ),
+    Sample(
+        "duplicate-id",
+        document('<p id="one">a</p><p id="one">b</p>'),
+        expect=("duplicate-id",),
+    ),
+    Sample(
+        "deprecated-attribute",
+        document('<p align="center">x</p>'),
+        expect=("deprecated-attribute",),
+        enable=("deprecated-attribute",),
+    ),
+    # -- text and entities ------------------------------------------------------------------------------
+    Sample(
+        "literal-gt",
+        document("<p>5 > 3</p>"),
+        expect=("literal-metacharacter",),
+    ),
+    Sample(
+        "unknown-entity",
+        document("<p>&zorp; is not a thing</p>"),
+        expect=("unknown-entity",),
+    ),
+    Sample(
+        "known-entity-ok",
+        document("<p>&copy; 1998 &amp; beyond &#169;</p>"),
+        forbid=("unknown-entity",),
+    ),
+    Sample(
+        "unterminated-entity",
+        document("<p>&copy 1998</p>"),
+        expect=("unterminated-entity",),
+        enable=("unterminated-entity",),
+    ),
+    # -- document level -----------------------------------------------------------------------------------
+    Sample(
+        "no-doctype",
+        "<html><head><title>t</title></head><body><p>x</p></body></html>",
+        expect=("require-doctype",),
+        forbid=("html-outer",),
+    ),
+    Sample(
+        "no-html-wrapper",
+        (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            "<head><title>t</title></head><body><p>x</p></body>"
+        ),
+        expect=("html-outer",),
+    ),
+    Sample(
+        "no-title",
+        (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            "<html><head></head><body><p>x</p></body></html>"
+        ),
+        expect=("require-title",),
+    ),
+    Sample(
+        "long-title",
+        document("<p>x</p>", title="t" * 80),
+        expect=("title-length",),
+    ),
+    Sample(
+        "mailto-hidden-address",
+        document('<p><a href="mailto:bob@example.com">contact the author</a></p>'),
+        expect=("mailto-link",),
+    ),
+    Sample(
+        "mailto-visible-address",
+        document(
+            '<p><a href="mailto:bob@example.com">bob@example.com</a></p>'
+        ),
+        forbid=("mailto-link",),
+    ),
+    Sample(
+        "frameset-without-noframes",
+        (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Frameset//EN">\n'
+            '<html><head><title>t</title></head>'
+            '<frameset rows="50%,50%"><frame src="a.html">'
+            '<frame src="b.html"></frameset></html>'
+        ),
+        expect=("frame-noframes",),
+    ),
+    # -- version dependence (section 5.5 / E11) ---------------------------------------------------------------
+    Sample(
+        "netscape-markup-under-html40",
+        document("<p><blink>new</blink></p>"),
+        expect=("netscape-markup",),
+        forbid=("unknown-element",),
+    ),
+    Sample(
+        "netscape-markup-under-netscape",
+        document("<p><blink>new</blink></p>"),
+        spec="netscape",
+        forbid=("netscape-markup", "unknown-element"),
+    ),
+    Sample(
+        "microsoft-markup-under-html40",
+        document('<p><marquee>news</marquee></p>'),
+        expect=("microsoft-markup",),
+        forbid=("unknown-element",),
+    ),
+    Sample(
+        "html40-element-under-html32",
+        document("<p><span>text</span></p>"),
+        spec="html32",
+        expect=("unknown-element",),
+    ),
+    Sample(
+        "class-attribute-under-html32",
+        document('<p class="x">text</p>'),
+        spec="html32",
+        expect=("unknown-attribute",),
+    ),
+    Sample(
+        "euro-entity-under-html32",
+        document("<p>price: 10 &euro;</p>"),
+        spec="html32",
+        expect=("unknown-entity",),
+    ),
+    Sample(
+        "img-alt-optional-html32",
+        document('<p><img src="x.gif" width="1" height="1"></p>'),
+        spec="html32",
+        expect=("img-alt",),
+        forbid=("required-attribute",),
+        description="ALT is advisory (img-alt), not required, under 3.2.",
+    ),
+    Sample(
+        "strict-rejects-center",
+        document("<center><p>x</p></center>"),
+        spec="html40-strict",
+        expect=("unknown-element",),
+    ),
+    # -- comments -------------------------------------------------------------------------------------------------
+    Sample(
+        "nested-comment",
+        document("<p>x</p><!-- outer <!-- inner --> "),
+        expect=("nested-comment",),
+    ),
+    Sample(
+        "unclosed-comment",
+        document("<p>x</p><!-- never closed"),
+        expect=("unclosed-comment",),
+    ),
+    # -- case style ---------------------------------------------------------------------------------------------------
+    Sample(
+        "lower-case-style",
+        document("<P>upper tags</P>"),
+        expect=("lower-case",),
+        enable=("lower-case",),
+    ),
+    Sample(
+        "upper-case-style",
+        document("<p>lower tags</p>"),
+        expect=("upper-case",),
+        enable=("upper-case",),
+    ),
+    # -- heading in anchor -----------------------------------------------------------------------------------------------
+    Sample(
+        "heading-inside-anchor",
+        document('<a href="x.html"><h2>heading link</h2></a>'),
+        expect=("heading-in-anchor",),
+    ),
+    Sample(
+        "body-colors-partial",
+        (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            '<html><head><title>t</title></head>'
+            '<body bgcolor="#ffffff"><p>x</p></body></html>'
+        ),
+        expect=("body-colors",),
+        enable=("body-colors",),
+    ),
+)
+
+
+def samples_by_message(message_id: str) -> list[Sample]:
+    """Samples that expect the given message."""
+    return [sample for sample in SAMPLES if message_id in sample.expect]
+
+
+# -- weblint 2 extension samples: plugins, fragments, inline config -------
+
+EXTENSION_SAMPLES: tuple[Sample, ...] = (
+    Sample(
+        "css-typo-property",
+        document('<p style="colour: red">x</p>'),
+        expect=("css-unknown-property",),
+        description="Stylesheet plugin: typo'd property with suggestion.",
+    ),
+    Sample(
+        "css-bad-color",
+        document('<p style="color: neon">x</p>'),
+        expect=("css-unknown-color",),
+    ),
+    Sample(
+        "css-missing-colon",
+        document(
+            "<p>x</p>",
+            head_extra='<style type="text/css">p { margin 0 }</style>\n',
+        ),
+        expect=("css-syntax",),
+    ),
+    Sample(
+        "css-valid-quiet",
+        document(
+            '<p style="margin: 0; color: #fff; font-weight: bold">x</p>'
+        ),
+        forbid=("css-syntax", "css-unknown-property", "css-unknown-color"),
+    ),
+    Sample(
+        "script-unbalanced",
+        document(
+            "<p>x</p>",
+            head_extra='<script type="text/javascript">f(;</script>\n',
+        ),
+        expect=("script-syntax",),
+    ),
+    Sample(
+        "script-valid-quiet",
+        document(
+            "<p>x</p>",
+            head_extra='<script type="text/javascript">'
+            "var x = f(1, [2]);</script>\n",
+        ),
+        forbid=("script-syntax",),
+    ),
+    Sample(
+        "inline-disable",
+        document(
+            '<!-- weblint: disable img-alt, img-size -->\n'
+            '<p><img src="generated.gif"></p>'
+        ),
+        forbid=("img-alt", "img-size"),
+        description="Inline configuration comments (paper section 6.1).",
+    ),
+    Sample(
+        "self-closing-under-html40",
+        document("<p>line one<br/>line two</p>"),
+        expect=("self-closing-tag",),
+        enable=("self-closing-tag",),
+    ),
+)
+
+SAMPLES = SAMPLES + EXTENSION_SAMPLES

@@ -1,0 +1,1 @@
+"""Maintainer tools: documentation generation and catalog inspection."""

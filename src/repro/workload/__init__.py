@@ -1,0 +1,30 @@
+"""Workload generation for tests and benchmarks.
+
+The paper's test-suite rests on "a large test set of HTML samples, which
+are believed to be valid or invalid for specific versions of HTML"
+(section 5.7).  Lacking the weblint-victims corpus, this package
+generates an equivalent deterministically:
+
+- :mod:`repro.workload.generator` -- seedable generator of *valid*
+  HTML 4.0 pages and interlinked sites (lint-clean by construction, a
+  property the test-suite enforces);
+- :mod:`repro.workload.seeder` -- injects the mistake classes weblint
+  targets into a valid page, recording the expected message for each,
+  giving labelled ground truth for detection-rate experiments;
+- :mod:`repro.workload.corpus` -- convenience builders for whole corpora
+  and sites.
+"""
+
+from repro.workload.corpus import build_seeded_corpus, build_valid_corpus
+from repro.workload.generator import GeneratorConfig, PageGenerator
+from repro.workload.seeder import ErrorSeeder, Mutation, SeededPage
+
+__all__ = [
+    "PageGenerator",
+    "GeneratorConfig",
+    "ErrorSeeder",
+    "Mutation",
+    "SeededPage",
+    "build_valid_corpus",
+    "build_seeded_corpus",
+]

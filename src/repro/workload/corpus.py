@@ -1,0 +1,48 @@
+"""Corpus builders: many pages at once, reproducibly."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workload.generator import GeneratorConfig, PageGenerator
+from repro.workload.seeder import ErrorSeeder, SeededPage
+
+
+def build_valid_corpus(
+    n_pages: int,
+    seed: int = 0,
+    config: Optional[GeneratorConfig] = None,
+) -> list[str]:
+    """``n_pages`` valid pages; page ``i`` is generated with seed+i so any
+    single page can be regenerated in isolation."""
+    return [
+        PageGenerator(seed=seed + index, config=config).page()
+        for index in range(n_pages)
+    ]
+
+
+def build_seeded_corpus(
+    n_pages: int,
+    errors_per_page: int = 2,
+    seed: int = 0,
+    config: Optional[GeneratorConfig] = None,
+    mutation_names: Optional[tuple[str, ...]] = None,
+) -> list[SeededPage]:
+    """``n_pages`` broken pages with recorded ground truth."""
+    corpus: list[SeededPage] = []
+    for index in range(n_pages):
+        page = PageGenerator(seed=seed + index, config=config).page()
+        seeder = ErrorSeeder(seed=seed + index)
+        corpus.append(
+            seeder.seed_errors(page, count=errors_per_page, names=mutation_names)
+        )
+    return corpus
+
+
+def build_site(
+    n_pages: int,
+    seed: int = 0,
+    config: Optional[GeneratorConfig] = None,
+) -> dict[str, str]:
+    """A valid interlinked site as a path -> source mapping."""
+    return PageGenerator(seed=seed, config=config).site(n_pages)

@@ -1,0 +1,210 @@
+"""Deterministic generator of valid HTML pages and sites.
+
+Pages are valid HTML 4.0 Transitional *and* clean under weblint's default
+configuration -- the test-suite asserts this property, which in turn
+pins down exactly what "default-clean" means.  The generator therefore:
+
+- emits a DOCTYPE, the HTML/HEAD/TITLE/BODY skeleton, a short title;
+- keeps heading levels in order;
+- gives every IMG an ALT, WIDTH and HEIGHT;
+- double-quotes every attribute value;
+- uses meaningful anchor text (never the content-free "here" words).
+
+Everything is driven by a :class:`random.Random` with a caller-supplied
+seed, so corpora are reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+_WORDS = (
+    "system", "document", "analysis", "report", "service", "quality",
+    "network", "research", "archive", "catalog", "design", "module",
+    "release", "update", "project", "library", "account", "summary",
+    "section", "detail", "figure", "result", "method", "review",
+    "weekly", "annual", "public", "internal", "current", "complete",
+)
+
+_ANCHOR_PHRASES = (
+    "the full report",
+    "project archive",
+    "release notes",
+    "quality checklist",
+    "the design documents",
+    "server statistics",
+    "team directory",
+    "publication list",
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape of generated pages."""
+
+    paragraphs: int = 6
+    sentences_per_paragraph: int = 4
+    words_per_sentence: int = 9
+    headings: int = 3
+    images: int = 2
+    lists: int = 1
+    list_items: int = 4
+    tables: int = 1
+    table_rows: int = 3
+    table_columns: int = 3
+    links_per_page: int = 4
+    use_emphasis: bool = True
+
+
+class PageGenerator:
+    """Generate valid pages and interlinked sites."""
+
+    def __init__(self, seed: int = 0, config: Optional[GeneratorConfig] = None) -> None:
+        self.random = random.Random(seed)
+        self.config = config if config is not None else GeneratorConfig()
+
+    # -- small pieces ---------------------------------------------------------
+
+    def word(self) -> str:
+        return self.random.choice(_WORDS)
+
+    def sentence(self) -> str:
+        words = [self.word() for _ in range(self.config.words_per_sentence)]
+        words[0] = words[0].capitalize()
+        return " ".join(words) + "."
+
+    def paragraph(self, link_targets: tuple[str, ...] = ()) -> str:
+        sentences = [
+            self.sentence() for _ in range(self.config.sentences_per_paragraph)
+        ]
+        body = " ".join(sentences)
+        if self.config.use_emphasis and self.random.random() < 0.5:
+            body += f" <em>{self.sentence()}</em>"
+        if link_targets and self.random.random() < 0.8:
+            target = self.random.choice(link_targets)
+            phrase = self.random.choice(_ANCHOR_PHRASES)
+            body += f' See <a href="{target}">{phrase}</a>.'
+        return f"<p>{body}</p>"
+
+    def image(self, index: int) -> str:
+        width = self.random.choice((120, 200, 320, 480))
+        height = self.random.choice((60, 90, 120, 240))
+        return (
+            f'<img src="images/figure{index}.gif" '
+            f'alt="figure {index}: {self.word()} {self.word()}" '
+            f'width="{width}" height="{height}">'
+        )
+
+    def list_block(self) -> str:
+        items = "\n".join(
+            f"<li>{self.sentence()}</li>" for _ in range(self.config.list_items)
+        )
+        kind = self.random.choice(("ul", "ol"))
+        return f"<{kind}>\n{items}\n</{kind}>"
+
+    def table_block(self) -> str:
+        header = "".join(
+            f"<th>{self.word()}</th>" for _ in range(self.config.table_columns)
+        )
+        rows = [f"<tr>{header}</tr>"]
+        for _ in range(self.config.table_rows):
+            cells = "".join(
+                f"<td>{self.word()} {self.word()}</td>"
+                for _ in range(self.config.table_columns)
+            )
+            rows.append(f"<tr>{cells}</tr>")
+        body = "\n".join(rows)
+        return f'<table border="1" summary="generated data table">\n{body}\n</table>'
+
+    def title(self) -> str:
+        return f"{self.word().capitalize()} {self.word()} {self.word()}"
+
+    # -- whole pages ----------------------------------------------------------------
+
+    def page(
+        self,
+        title: Optional[str] = None,
+        link_targets: tuple[str, ...] = (),
+    ) -> str:
+        """One valid, default-clean HTML page."""
+        config = self.config
+        title = title if title is not None else self.title()
+        if not link_targets:
+            # Standalone pages still carry anchors (they are a major
+            # checking surface); targets are plausible sibling pages.
+            link_targets = ("page1.html", "archive.html", "notes.html")
+        blocks: list[str] = [f"<h1>{title}</h1>"]
+
+        headings_used = 1
+        for index in range(config.paragraphs):
+            if headings_used <= config.headings and index and index % 2 == 0:
+                blocks.append(f"<h2>{self.word().capitalize()} {self.word()}</h2>")
+                headings_used += 1
+            blocks.append(self.paragraph(link_targets))
+        for index in range(config.images):
+            blocks.append(f"<p>{self.image(index)}</p>")
+        for _ in range(config.lists):
+            blocks.append(self.list_block())
+        for _ in range(config.tables):
+            blocks.append(self.table_block())
+
+        body = "\n".join(blocks)
+        return (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            "<html>\n<head>\n"
+            f"<title>{title}</title>\n"
+            f'<meta name="description" content="{self.sentence()}">\n'
+            "</head>\n<body>\n"
+            f"{body}\n"
+            "</body>\n</html>\n"
+        )
+
+    def site(
+        self,
+        n_pages: int,
+        links_per_page: Optional[int] = None,
+    ) -> dict[str, str]:
+        """An interlinked site: index.html plus n_pages-1 article pages.
+
+        Every page is linked from the index (so nothing is an orphan) and
+        pages link among themselves at the requested density.
+        """
+        if n_pages < 1:
+            raise ValueError("a site needs at least one page")
+        links = (
+            links_per_page
+            if links_per_page is not None
+            else self.config.links_per_page
+        )
+        names = ["index.html"] + [
+            f"page{index}.html" for index in range(1, n_pages)
+        ]
+        pages: dict[str, str] = {}
+        for name in names[1:]:
+            others = [n for n in names if n != name]
+            targets = tuple(
+                self.random.sample(others, min(links, len(others)))
+            )
+            pages[name] = self.page(link_targets=targets)
+        index_links = "\n".join(
+            f'<li><a href="{name}">{self.random.choice(_ANCHOR_PHRASES)} '
+            f"({name})</a></li>"
+            for name in names[1:]
+        )
+        index_body = (
+            f"<h1>Site index</h1>\n<p>{self.sentence()}</p>\n"
+            f"<ul>\n{index_links}\n</ul>"
+            if index_links
+            else f"<h1>Site index</h1>\n<p>{self.sentence()}</p>"
+        )
+        pages["index.html"] = (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            "<html>\n<head>\n<title>Site index</title>\n"
+            '<meta name="description" content="site index">\n'
+            "</head>\n<body>\n"
+            f"{index_body}\n"
+            "</body>\n</html>\n"
+        )
+        return pages

@@ -1,0 +1,278 @@
+"""Error injection with ground truth.
+
+Takes a valid page and applies named *mutations*, each modelled on one of
+the commonly-made mistakes weblint's heuristics target (paper section
+5.1: "The heuristics are based on commonly-made mistakes in HTML").
+Every mutation records the weblint message id it should provoke, giving
+labelled corpora for the detection-rate and cascade experiments (E9).
+
+A mutation is a pure function ``source -> source | None`` (None when the
+page offers no applicable site for it), plus the expected message id.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+MutationFn = Callable[[str], Optional[str]]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One named way of breaking a page."""
+
+    name: str
+    expected_message: str
+    apply: MutationFn
+
+
+@dataclass
+class SeededPage:
+    """A broken page plus what is broken about it."""
+
+    source: str
+    applied: list[Mutation] = field(default_factory=list)
+
+    def expected_messages(self) -> list[str]:
+        return [mutation.expected_message for mutation in self.applied]
+
+
+# -- mutation implementations ------------------------------------------------------
+
+
+def _sub_first(pattern: str, replacement: str, source: str) -> Optional[str]:
+    new, count = re.subn(pattern, replacement, source, count=1)
+    return new if count else None
+
+
+def drop_doctype(source: str) -> Optional[str]:
+    return _sub_first(r"<!DOCTYPE[^>]*>\n?", "", source)
+
+
+def unclose_bold(source: str) -> Optional[str]:
+    # Open a <b> mid-paragraph and never close it.
+    return _sub_first(r"<p>", "<p><b>", source)
+
+
+def typo_element(source: str) -> Optional[str]:
+    new = _sub_first(r"<em>", "<emm>", source)
+    if new is None:
+        return None
+    return _sub_first(r"</em>", "</emm>", new) or new
+
+
+def unquote_src(source: str) -> Optional[str]:
+    return _sub_first(r'src="([^"]+)"', r"src=\1", source)
+
+
+def drop_alt(source: str) -> Optional[str]:
+    return _sub_first(r'\salt="[^"]*"', "", source)
+
+
+def mismatch_heading(source: str) -> Optional[str]:
+    return _sub_first(r"</h2>", "</h3>", source)
+
+
+def overlap_anchor(source: str) -> Optional[str]:
+    return _sub_first(
+        r'<a href="([^"]+)">([^<]+)</a>',
+        r'<b><a href="\1">\2</b></a>',
+        source,
+    )
+
+
+def odd_quote(source: str) -> Optional[str]:
+    return _sub_first(r'href="([^"]+)">', r'href="\1>', source)
+
+
+def single_quote(source: str) -> Optional[str]:
+    return _sub_first(r'href="([^"]+)"', r"href='\1'", source)
+
+
+def bad_body_color(source: str) -> Optional[str]:
+    return _sub_first(r"<body>", '<body bgcolor="fffff">', source)
+
+
+def unknown_attribute(source: str) -> Optional[str]:
+    return _sub_first(r"<p>", '<p zorp="1">', source)
+
+
+def deprecated_listing(source: str) -> Optional[str]:
+    return _sub_first(
+        r"</body>", "<listing>old markup</listing>\n</body>", source
+    )
+
+
+def markup_in_comment(source: str) -> Optional[str]:
+    return _sub_first(
+        r"<body>", "<body>\n<!-- <b>commented out</b> -->", source
+    )
+
+
+def missing_textarea_dims(source: str) -> Optional[str]:
+    return _sub_first(
+        r"</body>",
+        '<form action="post.cgi"><textarea name="t">x</textarea></form>\n</body>',
+        source,
+    )
+
+
+def here_anchor(source: str) -> Optional[str]:
+    return _sub_first(r'(<a href="[^"]+">)[^<]+(</a>)', r"\1here\2", source)
+
+
+def literal_metacharacter(source: str) -> Optional[str]:
+    return _sub_first(r"<p>", "<p>5 > 3 and ", source)
+
+
+def unknown_entity(source: str) -> Optional[str]:
+    return _sub_first(r"<p>", "<p>&zorp; ", source)
+
+
+def nested_anchor(source: str) -> Optional[str]:
+    return _sub_first(
+        r'<a href="([^"]+)">([^<]+)</a>',
+        r'<a href="\1">\2 <a href="extra.html">inner anchor</a></a>',
+        source,
+    )
+
+
+def empty_title(source: str) -> Optional[str]:
+    return _sub_first(r"<title>[^<]*</title>", "<title></title>", source)
+
+
+def head_element_in_body(source: str) -> Optional[str]:
+    return _sub_first(
+        r"</body>", '<base href="http://example.com/">\n</body>', source
+    )
+
+
+def repeated_attribute(source: str) -> Optional[str]:
+    return _sub_first(
+        r'<img src="([^"]+)"', r'<img src="\1" src="\1"', source
+    )
+
+
+def unmatched_close(source: str) -> Optional[str]:
+    return _sub_first(r"</body>", "</strong>\n</body>", source)
+
+
+#: The catalog of mutations, keyed by name.
+MUTATIONS: dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation("drop-doctype", "require-doctype", drop_doctype),
+        Mutation("unclose-bold", "unclosed-element", unclose_bold),
+        Mutation("typo-element", "unknown-element", typo_element),
+        Mutation("unquote-src", "quote-attribute-value", unquote_src),
+        Mutation("drop-alt", "img-alt", drop_alt),
+        Mutation("mismatch-heading", "heading-mismatch", mismatch_heading),
+        Mutation("overlap-anchor", "overlapped-element", overlap_anchor),
+        Mutation("odd-quote", "odd-quotes", odd_quote),
+        Mutation("single-quote", "attribute-delimiter", single_quote),
+        Mutation("bad-body-color", "attribute-format", bad_body_color),
+        Mutation("unknown-attribute", "unknown-attribute", unknown_attribute),
+        Mutation("deprecated-listing", "deprecated-element", deprecated_listing),
+        Mutation("markup-in-comment", "markup-in-comment", markup_in_comment),
+        Mutation(
+            "missing-textarea-dims", "required-attribute", missing_textarea_dims
+        ),
+        Mutation("here-anchor", "here-anchor", here_anchor),
+        Mutation(
+            "literal-metacharacter", "literal-metacharacter", literal_metacharacter
+        ),
+        Mutation("unknown-entity", "unknown-entity", unknown_entity),
+        Mutation("nested-anchor", "nested-element", nested_anchor),
+        Mutation("empty-title", "empty-container", empty_title),
+        Mutation("head-element-in-body", "head-element", head_element_in_body),
+        Mutation("repeated-attribute", "repeated-attribute", repeated_attribute),
+        Mutation("unmatched-close", "illegal-closing", unmatched_close),
+    )
+}
+
+#: Mutations whose expected message is enabled by default -- the set used
+#: for default-configuration detection experiments.
+DEFAULT_DETECTABLE = tuple(
+    name
+    for name, mutation in MUTATIONS.items()
+    if mutation.expected_message != "here-anchor"
+)
+
+
+class ErrorSeeder:
+    """Apply randomly chosen (but seed-deterministic) mutations.
+
+    Mutations edit overlapping regions of the page, so a later mutation
+    can occasionally destroy an earlier one's trigger (e.g. nesting an
+    extra anchor inside the anchor whose text was just made content-free).
+    ``seed_errors`` therefore *verifies* ground truth as it goes: after
+    each candidate mutation it re-checks that every expected message so
+    far still fires, and rolls the candidate back otherwise.  The result
+    is a page whose label set is guaranteed detectable.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.random = random.Random(seed)
+        self._verifier = None
+
+    def _expected_detectable(self, source: str, expected: list[str]) -> bool:
+        if self._verifier is None:
+            # Imported here: the seeder is usable without the checker, and
+            # the checker imports nothing from the workload package.
+            from repro.config.options import Options
+            from repro.core.linter import Weblint
+
+            options = Options.with_defaults()
+            options.enable("all")
+            options.disable("upper-case", "lower-case")
+            self._verifier = Weblint(options=options)
+        got = {d.message_id for d in self._verifier.check_string(source)}
+        return all(message in got for message in expected)
+
+    def seed_errors(
+        self,
+        source: str,
+        count: int = 1,
+        names: Optional[tuple[str, ...]] = None,
+    ) -> SeededPage:
+        """Apply up to ``count`` distinct, verified mutations to ``source``.
+
+        Mutations that do not apply to this particular page -- or that
+        would break an earlier mutation's ground truth -- are skipped
+        (and another is drawn), so ``len(result.applied)`` can be lower
+        than ``count`` only if the page ran out of usable mutations.
+        """
+        pool = list(names if names is not None else MUTATIONS)
+        self.random.shuffle(pool)
+        seeded = SeededPage(source=source)
+        for name in pool:
+            if len(seeded.applied) >= count:
+                break
+            mutation = MUTATIONS[name]
+            mutated = mutation.apply(seeded.source)
+            if mutated is None:
+                continue
+            expected = seeded.expected_messages() + [mutation.expected_message]
+            if not self._expected_detectable(mutated, expected):
+                continue  # interfered with an earlier mutation: roll back
+            seeded.source = mutated
+            seeded.applied.append(mutation)
+        return seeded
+
+    def seed_specific(self, source: str, names: tuple[str, ...]) -> SeededPage:
+        """Apply exactly the named mutations, in order; raise if one
+        cannot apply."""
+        seeded = SeededPage(source=source)
+        for name in names:
+            mutation = MUTATIONS[name]
+            mutated = mutation.apply(seeded.source)
+            if mutated is None:
+                raise ValueError(
+                    f"mutation {name!r} is not applicable to this page"
+                )
+            seeded.source = mutated
+            seeded.applied.append(mutation)
+        return seeded

@@ -1,0 +1,40 @@
+"""In-memory web substrate -- the LWP substitution.
+
+The paper's weblint uses Gisle Aas' LWP for "all retrieving of pages and
+similar operations" (section 5.7): ``check_url``, the gateway's URL
+fetching, and the poacher robot.  This environment has no network, so the
+reproduction substitutes a complete in-process equivalent:
+
+- :mod:`repro.www.url` -- URL parsing, normalisation and reference
+  resolution (the subset of RFC 1808/3986 a link checker needs);
+- :mod:`repro.www.message` -- request/response objects with status codes;
+- :mod:`repro.www.virtualweb` -- an in-memory web: named hosts serving
+  pages, redirects, slow pages and broken links, deterministic and
+  inspectable;
+- :mod:`repro.www.client` -- a ``UserAgent`` that performs GET/HEAD
+  against a virtual web (or anything with a ``handle`` method), following
+  redirects;
+- :mod:`repro.www.robotstxt` -- robots.txt parsing for polite robots.
+
+The substitution preserves the paper-relevant behaviour: fetching pages,
+following redirects, observing 404s for the broken-link reports, and
+obeying robots.txt -- all the code paths weblint, the gateway and poacher
+exercise against the real web.
+"""
+
+from repro.www.client import UserAgent
+from repro.www.message import Request, Response
+from repro.www.robotstxt import RobotsTxt
+from repro.www.url import URL, urljoin, urlparse
+from repro.www.virtualweb import VirtualWeb
+
+__all__ = [
+    "URL",
+    "urlparse",
+    "urljoin",
+    "Request",
+    "Response",
+    "VirtualWeb",
+    "UserAgent",
+    "RobotsTxt",
+]

@@ -1,0 +1,110 @@
+"""UserAgent -- the client half of the LWP substitution.
+
+Performs GET/HEAD requests against a :class:`~repro.www.virtualweb.VirtualWeb`
+(or anything else with a ``handle(Request) -> Response`` method), following
+redirects with loop detection, and optionally caching responses -- the
+facilities weblint's ``check_url``, the gateway and the poacher robot rely
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.www.message import Request, Response
+from repro.www.url import urljoin, urlparse
+
+
+class FetchError(Exception):
+    """A URL could not be fetched at the transport level."""
+
+
+class NoNetworkError(FetchError):
+    """Raised when no web was supplied and a live fetch was attempted.
+
+    Mirrors the paper's optional-LWP behaviour: "If you don't have LWP
+    installed, you can still use weblint, but the check_url method won't
+    be available."
+    """
+
+
+class UserAgent:
+    """A small, polite HTTP client for the virtual web."""
+
+    def __init__(
+        self,
+        web=None,
+        max_redirects: int = 5,
+        agent_name: str = "weblint-repro/2.0",
+        cache: bool = False,
+    ) -> None:
+        self.web = web
+        self.max_redirects = max_redirects
+        self.agent_name = agent_name
+        self._cache: Optional[dict[tuple[str, str], Response]] = {} if cache else None
+        self.requests_made = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, url: str) -> Response:
+        return self.request("GET", url)
+
+    def head(self, url: str) -> Response:
+        return self.request("HEAD", url)
+
+    def request(self, method: str, url: str) -> Response:
+        """Issue one request, following redirects."""
+        if self.web is None:
+            raise NoNetworkError(
+                "this UserAgent has no web attached; pass a VirtualWeb "
+                "(live network access is substituted in this reproduction)"
+            )
+        url = str(urlparse(url).normalised().without_fragment())
+        cache_key = (method.upper(), url)
+        if self._cache is not None and cache_key in self._cache:
+            return self._cache[cache_key]
+
+        seen: list[str] = []
+        current = url
+        response = None
+        for _hop in range(self.max_redirects + 1):
+            if current in seen:
+                raise FetchError(f"redirect loop: {' -> '.join(seen + [current])}")
+            seen.append(current)
+            request = Request(method=method, url=current)
+            request.headers.set("User-Agent", self.agent_name)
+            self.requests_made += 1
+            response = self.web.handle(request)
+            if not response.is_redirect or response.location is None:
+                break
+            current = str(urljoin(current, response.location).without_fragment())
+        else:
+            raise FetchError(
+                f"too many redirects (> {self.max_redirects}) fetching {url}"
+            )
+
+        assert response is not None
+        final = Response(
+            status=response.status,
+            url=current,
+            body=response.body,
+            headers=response.headers,
+            redirects=tuple(seen[:-1]),
+        )
+        if self._cache is not None:
+            self._cache[cache_key] = final
+        return final
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def exists(self, url: str) -> bool:
+        """HEAD-based existence check, the broken-link robot primitive.
+
+        Paper section 3.5: "At its simplest, this merely consists of
+        sending a HEAD request, and reporting all URLs which result in a
+        404 response code."
+        """
+        try:
+            return self.head(url).ok
+        except FetchError:
+            return False

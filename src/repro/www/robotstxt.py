@@ -1,0 +1,90 @@
+"""robots.txt parsing -- politeness for the poacher robot.
+
+Paper section 2 asks "Which parts of your site should be disabled for
+robot access?"; the poacher robot must honour the answer.  Implements the
+original robots.txt convention (User-agent / Disallow) plus the widely
+adopted Allow extension, with longest-match precedence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _Group:
+    agents: list[str] = field(default_factory=list)
+    rules: list[tuple[str, str]] = field(default_factory=list)  # (kind, prefix)
+
+    def matches(self, agent: str) -> bool:
+        agent = agent.lower()
+        return any(
+            pattern == "*" or pattern in agent for pattern in self.agents
+        )
+
+
+class RobotsTxt:
+    """Parsed robots.txt rules."""
+
+    def __init__(self, text: str = "") -> None:
+        self._groups: list[_Group] = []
+        self._parse(text)
+
+    def _parse(self, text: str) -> None:
+        group: _Group | None = None
+        last_was_agent = False
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if ":" not in line:
+                continue
+            keyword, _, value = line.partition(":")
+            keyword = keyword.strip().lower()
+            value = value.strip()
+            if keyword == "user-agent":
+                if group is None or not last_was_agent:
+                    group = _Group()
+                    self._groups.append(group)
+                group.agents.append(value.lower())
+                last_was_agent = True
+            elif keyword in ("disallow", "allow"):
+                last_was_agent = False
+                if group is None:
+                    continue  # rules before any User-agent are ignored
+                group.rules.append((keyword, value))
+            else:
+                last_was_agent = False
+
+    # -- queries -------------------------------------------------------------
+
+    def allowed(self, path: str, agent: str = "*") -> bool:
+        """May ``agent`` fetch ``path``?  Longest matching rule wins."""
+        if not path.startswith("/"):
+            path = "/" + path
+        group = self._group_for(agent)
+        if group is None:
+            return True
+        best_length = -1
+        best_kind = "allow"
+        for kind, prefix in group.rules:
+            if prefix == "":
+                # "Disallow:" (empty) means allow everything.
+                if kind == "disallow" and best_length < 0:
+                    best_kind = "allow"
+                continue
+            if path.startswith(prefix) and len(prefix) > best_length:
+                best_length = len(prefix)
+                best_kind = kind
+        return best_kind == "allow"
+
+    def _group_for(self, agent: str) -> _Group | None:
+        specific = None
+        wildcard = None
+        for group in self._groups:
+            if group.matches(agent) and "*" not in group.agents:
+                if specific is None:
+                    specific = group
+            elif "*" in group.agents and wildcard is None:
+                wildcard = group
+        return specific if specific is not None else wildcard

@@ -1,0 +1,252 @@
+"""A small HTTP/1.0 server exposing a VirtualWeb (or the gateway) on TCP.
+
+The paper's gateways run behind real web servers; "I regularly receive
+requests for a standard gateway distribution, particularly for
+installation behind firewalls, e.g. for intranet use" (section 4.6).
+This module is that standard distribution's server half: a threaded
+HTTP/1.0 server written on plain sockets, serving
+
+- the resources of a :class:`~repro.www.virtualweb.VirtualWeb`, and
+- optionally the weblint gateway under a configurable path
+  (``/weblint`` by default), so ``GET /weblint?url=...`` returns a
+  report page.
+
+It exists to exercise the full network code path end to end inside the
+test-suite (real sockets, real request parsing) without any outside
+connectivity.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.www.message import Request, Response, reason_for
+from repro.www.virtualweb import VirtualWeb
+
+_MAX_REQUEST_BYTES = 64 * 1024
+
+
+class HTTPServer:
+    """Threaded HTTP/1.0 server over a VirtualWeb.
+
+    Use as a context manager::
+
+        with HTTPServer(web) as server:
+            raw_http_get(f"http://127.0.0.1:{server.port}/index.html")
+    """
+
+    def __init__(
+        self,
+        web: VirtualWeb,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        gateway=None,
+        gateway_path: str = "/weblint",
+    ) -> None:
+        self.web = web
+        self.host = host
+        self.gateway = gateway
+        self.gateway_path = gateway_path
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind((host, port))
+        self._socket.listen(16)
+        self.port = self._socket.getsockname()[1]
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        self.requests_served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "HTTPServer":
+        self._running = True
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            # Unblock accept() with a throwaway connection.
+            with socket.create_connection((self.host, self.port), timeout=1):
+                pass
+        except OSError:
+            pass
+        self._socket.close()
+        if self._thread is not None:
+            self._thread.join(timeout=2)
+
+    def __enter__(self) -> "HTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- the loop -------------------------------------------------------------
+
+    def _serve_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _address = self._socket.accept()
+            except OSError:
+                return
+            if not self._running:
+                connection.close()
+                return
+            thread = threading.Thread(
+                target=self._handle_connection, args=(connection,), daemon=True
+            )
+            thread.start()
+
+    def _handle_connection(self, connection: socket.socket) -> None:
+        try:
+            connection.settimeout(5)
+            raw = self._read_request(connection)
+            if raw is None:
+                return
+            response_bytes = self._respond(raw)
+            connection.sendall(response_bytes)
+        except OSError:
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _read_request(connection: socket.socket) -> Optional[bytes]:
+        data = b""
+        while b"\r\n\r\n" not in data and b"\n\n" not in data:
+            try:
+                chunk = connection.recv(4096)
+            except OSError:
+                return None
+            if not chunk:
+                break
+            data += chunk
+            if len(data) > _MAX_REQUEST_BYTES:
+                break
+        return data or None
+
+    # -- request handling ----------------------------------------------------------
+
+    def _respond(self, raw: bytes) -> bytes:
+        try:
+            method, target = self._parse_request_line(raw)
+        except ValueError as exc:
+            return _render(400, f"<h1>400 Bad Request</h1><p>{exc}</p>")
+        self.requests_served += 1
+
+        path, _, query = target.partition("?")
+        if self.gateway is not None and path == self.gateway_path:
+            from repro.gateway.forms import parse_query_string
+
+            gateway_response = self.gateway.handle(parse_query_string(query))
+            return _render(
+                gateway_response.status,
+                gateway_response.body,
+                content_type=gateway_response.content_type,
+                include_body=method != "HEAD",
+            )
+
+        try:
+            request = Request(method=method, url=f"{self.base_url}{target}")
+        except ValueError:
+            return _render(405, "<h1>405 Method Not Allowed</h1>")
+        response = self.web.handle(request)
+        return _render_response(response, include_body=method != "HEAD")
+
+    @staticmethod
+    def _parse_request_line(raw: bytes) -> tuple[str, str]:
+        try:
+            first_line = raw.split(b"\r\n", 1)[0].split(b"\n", 1)[0]
+            text = first_line.decode("latin-1")
+        except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+            raise ValueError("undecodable request line") from exc
+        parts = text.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError(f"malformed request line: {text!r}")
+        method, target, _version = parts
+        if not target.startswith("/"):
+            raise ValueError(f"origin-form target expected: {target!r}")
+        return method.upper(), target
+
+
+def _render(
+    status: int,
+    body: str,
+    content_type: str = "text/html",
+    include_body: bool = True,
+) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.0 {status} {reason_for(status)}\r\n"
+        f"Content-Type: {content_type}; charset=utf-8\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Server: weblint-repro/2.0\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    return head + (payload if include_body else b"")
+
+
+def _render_response(response: Response, include_body: bool = True) -> bytes:
+    payload = response.body.encode("utf-8")
+    lines = [f"HTTP/1.0 {response.status} {response.reason}"]
+    seen_keys = set()
+    for key, value in response.headers.items():
+        lines.append(f"{key}: {value}")
+        seen_keys.add(key.lower())
+    if "content-length" not in seen_keys:
+        lines.append(f"Content-Length: {len(payload)}")
+    lines.append("Connection: close")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + (payload if include_body else b"")
+
+
+def http_get(url: str, timeout: float = 5.0) -> tuple[int, dict[str, str], str]:
+    """A minimal raw-socket HTTP/1.0 GET, for tests and examples.
+
+    Returns ``(status, headers, body)``.  Only ``http://host:port/path``
+    URLs are supported -- this is deliberately the simplest client that
+    can exercise :class:`HTTPServer` end to end.
+    """
+    from repro.www.url import urlparse
+
+    parsed = urlparse(url)
+    host = parsed.host or "127.0.0.1"
+    port = parsed.effective_port() or 80
+    target = parsed.path or "/"
+    if parsed.query:
+        target += "?" + parsed.query
+
+    with socket.create_connection((host, port), timeout=timeout) as connection:
+        request = (
+            f"GET {target} HTTP/1.0\r\n"
+            f"Host: {host}\r\n"
+            f"User-Agent: repro-raw-client/1.0\r\n"
+            f"\r\n"
+        )
+        connection.sendall(request.encode("latin-1"))
+        data = b""
+        while True:
+            chunk = connection.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+
+    head, _, body = data.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    headers: dict[str, str] = {}
+    for line in head_lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body.decode("utf-8", errors="replace")

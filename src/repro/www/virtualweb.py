@@ -1,0 +1,174 @@
+"""The virtual web: an in-memory, deterministic stand-in for the internet.
+
+Hosts pages, redirects and failures under ``http://host/path`` URLs.
+Everything weblint's networked front-ends do against the real web --
+fetch a page, follow a redirect, hit a 404, read robots.txt -- they do
+against this object instead, with full inspectability (request log,
+per-URL hit counts).
+
+Typical setup::
+
+    web = VirtualWeb()
+    web.add_page("http://example.com/", "<html>...</html>")
+    web.add_redirect("http://example.com/old", "http://example.com/")
+    web.add_broken("http://example.com/gone", status=410)
+
+A whole site can be mounted from a directory tree or a mapping with
+:meth:`VirtualWeb.add_site`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.www.message import Headers, Request, Response, reason_for
+from repro.www.url import URL, urlparse
+
+
+@dataclass
+class _Resource:
+    body: str = ""
+    status: int = 200
+    content_type: str = "text/html"
+    location: Optional[str] = None
+    extra_headers: dict[str, str] = field(default_factory=dict)
+
+
+def _key(url: Union[str, URL]) -> tuple[str, Optional[int], str]:
+    parsed = (url if isinstance(url, URL) else urlparse(url)).normalised()
+    return (parsed.host, parsed.effective_port(), parsed.path or "/")
+
+
+class VirtualWeb:
+    """A dictionary of URLs behaving like servers."""
+
+    def __init__(self) -> None:
+        self._resources: dict[tuple[str, Optional[int], str], _Resource] = {}
+        self.request_log: list[Request] = []
+        self.hit_counts: dict[str, int] = {}
+
+    # -- population ---------------------------------------------------------
+
+    def add_page(
+        self,
+        url: str,
+        body: str,
+        content_type: str = "text/html",
+        status: int = 200,
+    ) -> None:
+        """Serve ``body`` at ``url``."""
+        self._resources[_key(url)] = _Resource(
+            body=body, status=status, content_type=content_type
+        )
+
+    def add_redirect(self, url: str, target: str, permanent: bool = False) -> None:
+        """Redirect ``url`` to ``target`` (302, or 301 when permanent)."""
+        self._resources[_key(url)] = _Resource(
+            status=301 if permanent else 302, location=target
+        )
+
+    def add_broken(self, url: str, status: int = 404) -> None:
+        """Make ``url`` exist as an explicit failure (default 404)."""
+        self._resources[_key(url)] = _Resource(status=status, body="")
+
+    def add_robots_txt(self, host_url: str, text: str) -> None:
+        """Install a robots.txt for the host of ``host_url``."""
+        base = urlparse(host_url)
+        robots_url = str(
+            URL(scheme=base.scheme or "http", host=base.host, port=base.port,
+                path="/robots.txt")
+        )
+        self.add_page(robots_url, text, content_type="text/plain")
+
+    def add_site(
+        self,
+        base_url: str,
+        pages: Union[Mapping[str, str], Path, str],
+    ) -> list[str]:
+        """Mount many pages under ``base_url``.
+
+        ``pages`` is either a mapping of relative paths to bodies, or a
+        directory whose ``*.html`` files are served with their relative
+        paths.  Returns the list of absolute URLs added.
+        """
+        base = urlparse(base_url).normalised()
+        prefix = base.path.rstrip("/")
+        added: list[str] = []
+
+        def _add(relative: str, body: str) -> None:
+            relative = relative.lstrip("/")
+            url = str(
+                URL(scheme=base.scheme or "http", host=base.host,
+                    port=base.port, path=f"{prefix}/{relative}")
+            )
+            self.add_page(url, body)
+            added.append(url)
+
+        if isinstance(pages, (str, Path)):
+            root = Path(pages)
+            for path in sorted(root.rglob("*")):
+                if path.is_file():
+                    _add(
+                        str(path.relative_to(root)).replace("\\", "/"),
+                        path.read_text(encoding="utf-8", errors="replace"),
+                    )
+        else:
+            for relative, body in pages.items():
+                _add(relative, body)
+        return added
+
+    def remove(self, url: str) -> None:
+        self._resources.pop(_key(url), None)
+
+    def urls(self) -> list[str]:
+        """All absolute URLs currently served (sorted)."""
+        result = []
+        for host, port, path in self._resources:
+            port_text = "" if port in (None, 80) else f":{port}"
+            result.append(f"http://{host}{port_text}{path}")
+        return sorted(result)
+
+    # -- serving ---------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Serve one request (no redirect following -- that is the client's
+        job, so the redirect-handling code path is actually exercised)."""
+        self.request_log.append(request)
+        normalised = str(urlparse(request.url).normalised().without_fragment())
+        self.hit_counts[normalised] = self.hit_counts.get(normalised, 0) + 1
+
+        resource = self._resources.get(_key(request.url))
+        if resource is None:
+            return Response(
+                status=404,
+                url=request.url,
+                body=_error_body(404),
+                headers=Headers({"Content-Type": "text/html"}),
+            )
+        headers = Headers({"Content-Type": resource.content_type})
+        for key, value in resource.extra_headers.items():
+            headers.set(key, value)
+        if resource.location is not None:
+            headers.set("Location", resource.location)
+        body = resource.body
+        if request.method == "HEAD":
+            body = ""
+        elif resource.status >= 400 and not body:
+            body = _error_body(resource.status)
+        headers.set("Content-Length", str(len(resource.body)))
+        return Response(
+            status=resource.status,
+            url=request.url,
+            body=body,
+            headers=headers,
+        )
+
+
+def _error_body(status: int) -> str:
+    reason = reason_for(status)
+    return (
+        f"<html><head><title>{status} {reason}</title></head>"
+        f"<body><h1>{status} {reason}</h1></body></html>"
+    )

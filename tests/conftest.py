@@ -1,0 +1,59 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Weblint
+
+#: The exact example from paper section 4.2.
+PAPER_EXAMPLE = """<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>"""
+
+
+def make_document(body: str, head_extra: str = "", title: str = "Test page") -> str:
+    """A default-clean HTML 4.0 document around ``body``."""
+    return (
+        '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+        "<html>\n<head>\n"
+        f"<title>{title}</title>\n{head_extra}"
+        "</head>\n<body>\n"
+        f"{body}\n"
+        "</body>\n</html>\n"
+    )
+
+
+@pytest.fixture
+def paper_example() -> str:
+    return PAPER_EXAMPLE
+
+
+@pytest.fixture
+def weblint() -> Weblint:
+    """Default-configuration checker."""
+    return Weblint()
+
+
+@pytest.fixture
+def weblint_all() -> Weblint:
+    """Checker with every message enabled (pedantic, minus case styles)."""
+    options = Options.with_defaults()
+    options.enable("all")
+    options.disable("upper-case", "lower-case")
+    return Weblint(options=options)
+
+
+def ids(diagnostics) -> set[str]:
+    return {d.message_id for d in diagnostics}
+
+
+def ids_list(diagnostics) -> list[str]:
+    return [d.message_id for d in diagnostics]

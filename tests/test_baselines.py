@@ -1,0 +1,147 @@
+"""Tests for the htmlchek, strict-validator and tidy-like baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Weblint
+from repro.baselines.htmlchek import HtmlchekChecker
+from repro.baselines.strict import StrictValidator
+from repro.baselines.tidylike import TidyLikeFixer
+from tests.conftest import PAPER_EXAMPLE, ids, make_document
+
+
+class TestHtmlchek:
+    def test_namespaced_ids(self):
+        diags = HtmlchekChecker().check_string("<zorp>")
+        assert all(d.message_id.startswith("htmlchek:") for d in diags)
+
+    def test_unknown_tag(self):
+        diags = HtmlchekChecker().check_string("<blockqoute>x</blockqoute>")
+        assert sum(
+            1 for d in diags if d.message_id == "htmlchek:unknown-tag"
+        ) == 2  # no pairing: both tags reported -- the cascade weblint avoids
+
+    def test_count_mismatch_at_eof(self):
+        diags = HtmlchekChecker().check_string("<b>one\n<b>two</b>\n")
+        mismatch = [
+            d for d in diags if d.message_id == "htmlchek:count-mismatch"
+        ]
+        assert mismatch and "1 <B>" in mismatch[0].text
+        assert mismatch[0].line == 3  # end of file, not the culprit line
+
+    def test_overlap_invisible(self):
+        # Counts balance, so the stack-less checker sees nothing wrong.
+        diags = HtmlchekChecker().check_string("<b><a href=\"x\">t</b></a>")
+        assert not any("mismatch" in d.message_id for d in diags)
+
+    def test_img_alt(self):
+        diags = HtmlchekChecker().check_string('<img src="x.gif">')
+        assert any(d.message_id == "htmlchek:img-alt" for d in diags)
+
+    def test_odd_quotes_per_line(self):
+        diags = HtmlchekChecker().check_string('<a href="x>y</a>')
+        assert any(d.message_id == "htmlchek:odd-quotes" for d in diags)
+
+    def test_finds_problems_in_paper_example(self):
+        assert HtmlchekChecker().check_string(PAPER_EXAMPLE)
+
+
+class TestStrictValidator:
+    def test_namespaced_ids(self):
+        diags = StrictValidator().check_string("<p>")
+        assert all(d.message_id.startswith("sgml:") for d in diags)
+
+    def test_no_doctype_reported_once(self):
+        diags = StrictValidator().check_string("<html><body><p>x</p></body></html>")
+        assert sum(
+            1 for d in diags if d.message_id == "sgml:no-doctype"
+        ) == 1
+
+    def test_undefined_element(self):
+        diags = StrictValidator().check_string(
+            make_document("<blockqoute>x</blockqoute>")
+        )
+        assert any(d.message_id == "sgml:undefined-element" for d in diags)
+
+    def test_end_tag_cascade(self):
+        # </table> with an open <b> inside a cell: strict parsers report
+        # omitted end tags for everything popped.
+        source = make_document(
+            '<table summary="s"><tr><td><b>x</td></tr></table>'
+        )
+        diags = StrictValidator().check_string(source)
+        assert any(d.message_id == "sgml:end-tag-omitted" for d in diags)
+
+    def test_required_attribute(self):
+        diags = StrictValidator().check_string(
+            make_document("<form><p>x</p></form>")
+        )
+        assert any(d.message_id == "sgml:required-attribute" for d in diags)
+
+    def test_parser_jargon_wording(self):
+        diags = StrictValidator().check_string(make_document("<li>x</li>"))
+        allowed = [d for d in diags if d.message_id == "sgml:not-allowed-here"]
+        assert allowed and "document type does not allow" in allowed[0].text
+
+    def test_more_messages_than_weblint_on_paper_example(self):
+        strict = StrictValidator().check_string(PAPER_EXAMPLE)
+        weblint = Weblint().check_string(PAPER_EXAMPLE)
+        assert len(strict) >= len(weblint)
+
+
+class TestTidyLikeFixer:
+    def test_quotes_unquoted_values(self):
+        result = TidyLikeFixer().fix_string("<body text=#00ff00></body>")
+        assert 'text="#00ff00"' in result.html
+        assert any("quoted" in fix.description for fix in result.fixes)
+
+    def test_adds_img_alt(self):
+        result = TidyLikeFixer().fix_string('<img src="x.gif">')
+        assert 'alt=""' in result.html
+
+    def test_closes_unclosed_elements(self):
+        result = TidyLikeFixer().fix_string("<b>bold text")
+        assert result.html.endswith("</b>")
+
+    def test_repairs_overlap(self):
+        result = TidyLikeFixer().fix_string('<b><a href="x">t</b></a>')
+        assert "</a></b>" in result.html
+        assert any("overlap" in fix.description for fix in result.fixes)
+
+    def test_rewrites_heading_mismatch(self):
+        result = TidyLikeFixer().fix_string("<h1>title</h2>")
+        assert "</h1>" in result.html and "</h2>" not in result.html
+
+    def test_replaces_obsolete_listing(self):
+        result = TidyLikeFixer().fix_string("<listing>x</listing>")
+        assert "<pre>" in result.html and "<listing>" not in result.html
+
+    def test_drops_unmatched_close(self):
+        result = TidyLikeFixer().fix_string("<p>x</p></strong>")
+        assert "</strong>" not in result.html
+
+    def test_unknown_element_unfixable(self):
+        result = TidyLikeFixer().fix_string("<zorp>x</zorp>")
+        assert result.unfixable
+        assert "<zorp>" in result.html  # left as-is
+
+    def test_lowercases_tags(self):
+        result = TidyLikeFixer().fix_string("<P>x</P>")
+        assert "<p>" in result.html and "</p>" in result.html
+
+    def test_fixed_paper_example_lints_cleaner(self):
+        """Experiment E13's core assertion."""
+        weblint = Weblint()
+        before = weblint.check_string(PAPER_EXAMPLE)
+        fixed = TidyLikeFixer().fix_string(PAPER_EXAMPLE)
+        after = weblint.check_string(fixed.html)
+        error_count = lambda diags: sum(  # noqa: E731
+            1 for d in diags if d.category.value == "error"
+        )
+        assert error_count(after) < error_count(before)
+
+    def test_fix_on_clean_page_is_stable(self):
+        page = make_document("<p>hello</p>")
+        result = TidyLikeFixer().fix_string(page)
+        assert Weblint().check_string(result.html) == []

@@ -1,0 +1,232 @@
+"""Tests for the weblint / poacher / gateway command-line front-ends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as weblint_main
+from repro.gateway.cli import main as gateway_main
+from repro.robot.cli import main as poacher_main
+from repro.workload import PageGenerator
+from tests.conftest import PAPER_EXAMPLE, make_document
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    page = tmp_path / "test.html"
+    page.write_text(PAPER_EXAMPLE)
+    return page
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    page = tmp_path / "clean.html"
+    page.write_text(make_document("<p>hello</p>"))
+    return page
+
+
+class TestWeblintCli:
+    def test_problems_exit_1(self, example_file, capsys):
+        assert weblint_main(["--no-config", str(example_file)]) == 1
+        out = capsys.readouterr().out
+        assert "first element was not DOCTYPE" in out
+
+    def test_clean_exit_0(self, clean_file, capsys):
+        assert weblint_main(["--no-config", str(clean_file)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_short_format(self, example_file, capsys):
+        weblint_main(["--no-config", "-s", str(example_file)])
+        out = capsys.readouterr().out
+        assert out.startswith("line 1: ")
+
+    def test_default_lint_format(self, example_file, capsys):
+        weblint_main(["--no-config", str(example_file)])
+        out = capsys.readouterr().out
+        assert out.startswith(f"{example_file}(1): ")
+
+    def test_verbose_format(self, example_file, capsys):
+        weblint_main(["--no-config", "-v", str(example_file)])
+        out = capsys.readouterr().out
+        assert "require-doctype" in out
+
+    def test_json_format(self, example_file, capsys):
+        import json
+
+        weblint_main(["--no-config", "-f", "json", str(example_file)])
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 7
+
+    def test_disable_switch(self, example_file, capsys):
+        weblint_main(
+            ["--no-config", "-d", "require-doctype", str(example_file)]
+        )
+        assert "DOCTYPE" not in capsys.readouterr().out
+
+    def test_enable_switch(self, clean_file, capsys):
+        (clean_file.parent / "b.html").write_text(
+            make_document("<p><b>x</b></p>")
+        )
+        weblint_main(
+            ["--no-config", "-e", "physical-font",
+             str(clean_file.parent / "b.html")]
+        )
+        assert "STRONG" in capsys.readouterr().out
+
+    def test_extension_switch(self, tmp_path, capsys):
+        page = tmp_path / "n.html"
+        page.write_text(make_document("<p><blink>x</blink></p>"))
+        assert weblint_main(["--no-config", "-x", "netscape", str(page)]) == 0
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(PAPER_EXAMPLE))
+        assert weblint_main(["--no-config", "-s", "-"]) == 1
+        assert "stdin" not in capsys.readouterr().out  # -s has no filename
+
+    def test_directory_without_recurse_errors(self, tmp_path, capsys):
+        assert weblint_main(["--no-config", str(tmp_path)]) == 2
+        assert "use -R" in capsys.readouterr().err
+
+    def test_recurse(self, tmp_path, capsys):
+        site = PageGenerator(seed=4).site(3)
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        (tmp_path / "images").mkdir()
+        for index in range(4):
+            (tmp_path / "images" / f"figure{index}.gif").write_text("GIF89a")
+        (tmp_path / "orphan.html").write_text(make_document("<p>x</p>"))
+        assert weblint_main(["--no-config", "-R", str(tmp_path)]) == 1
+        assert "orphan" in capsys.readouterr().out
+
+    def test_site_report_text(self, tmp_path, capsys):
+        site = PageGenerator(seed=4).site(2)
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        (tmp_path / "images").mkdir()
+        for index in range(4):
+            (tmp_path / "images" / f"figure{index}.gif").write_text("GIF")
+        weblint_main(
+            ["--no-config", "-R", "--site-report", "-", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert "site report:" in out and "navigation analysis" in out
+
+    def test_site_report_html_file(self, tmp_path, capsys):
+        (tmp_path / "index.html").write_text(make_document("<p>x</p>"))
+        target = tmp_path / "report-out.html"
+        weblint_main(
+            ["--no-config", "-R", "--site-report", str(target), str(tmp_path)]
+        )
+        assert target.is_file()
+        assert "<h2>Summary</h2>" in target.read_text()
+
+    def test_locale_switch(self, example_file, capsys):
+        weblint_main(["--no-config", "--locale", "de", str(example_file)])
+        out = capsys.readouterr().out
+        assert "DOCTYPE-Deklaration" in out
+
+    def test_rcfile_switch(self, example_file, tmp_path, capsys):
+        rc = tmp_path / "rc"
+        rc.write_text("disable all\n")
+        assert weblint_main(["--rcfile", str(rc), str(example_file)]) == 0
+
+    def test_cli_overrides_rcfile(self, example_file, tmp_path, capsys):
+        rc = tmp_path / "rc"
+        rc.write_text("disable all\n")
+        code = weblint_main(
+            ["--rcfile", str(rc), "-e", "require-doctype", str(example_file)]
+        )
+        assert code == 1
+        assert "DOCTYPE" in capsys.readouterr().out
+
+    def test_bad_rcfile_exit_2(self, example_file, tmp_path, capsys):
+        rc = tmp_path / "rc"
+        rc.write_text("enable no-such-message\n")
+        assert weblint_main(["--rcfile", str(rc), str(example_file)]) == 2
+
+    def test_bad_enable_exit_2(self, example_file, capsys):
+        assert (
+            weblint_main(["--no-config", "-e", "bogus", str(example_file)]) == 2
+        )
+
+    def test_list_messages(self, capsys):
+        assert weblint_main(["--list-messages"]) == 0
+        out = capsys.readouterr().out
+        assert "unclosed-element" in out and "here-anchor" in out
+
+    def test_missing_file_exit_2(self, tmp_path, capsys):
+        assert (
+            weblint_main(["--no-config", str(tmp_path / "nope.html")]) == 2
+        )
+
+    def test_pedantic_switch(self, tmp_path, capsys):
+        page = tmp_path / "b.html"
+        page.write_text(make_document("<p><b>x</b></p>"))
+        weblint_main(["--no-config", "--pedantic", str(page)])
+        assert "STRONG" in capsys.readouterr().out
+
+
+class TestPoacherCli:
+    def test_crawl_directory(self, tmp_path, capsys):
+        site = PageGenerator(seed=9, ).site(3)
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        code = poacher_main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "crawled" in out
+        assert code == 1  # generated images are not on disk -> broken links
+
+    def test_ignore_robots(self, tmp_path, capsys):
+        site = PageGenerator(seed=9).site(2)
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        (tmp_path / "robots.txt").write_text("User-agent: *\nDisallow: /\n")
+        code = poacher_main([str(tmp_path), "--ignore-robots", "--no-links"])
+        assert code == 0
+        assert "crawled 2 page(s)" in capsys.readouterr().out
+
+    def test_no_links_mode(self, tmp_path, capsys):
+        site = PageGenerator(seed=9).site(2)
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        code = poacher_main([str(tmp_path), "--no-links"])
+        assert code == 0
+        assert "0 broken link(s)" in capsys.readouterr().out
+
+
+class TestGatewayCli:
+    def test_query_argument(self, capsys):
+        from repro.gateway.forms import encode_form
+
+        code = gateway_main([encode_form({"html": PAPER_EXAMPLE})])
+        out = capsys.readouterr().out
+        assert code == 0  # the report page itself is a 200
+        assert out.startswith("Status: 200")
+        assert "odd number of quotes" in out
+
+    def test_no_header_flag(self, capsys):
+        from repro.gateway.forms import encode_form
+
+        gateway_main(["--no-header", encode_form({"html": "<p>x</p>"})])
+        out = capsys.readouterr().out
+        assert out.startswith("<!DOCTYPE")
+
+    def test_site_dir_url_fetch(self, tmp_path, capsys):
+        from repro.gateway.forms import encode_form
+
+        (tmp_path / "x.html").write_text(PAPER_EXAMPLE)
+        code = gateway_main(
+            [
+                "--site-dir", str(tmp_path),
+                encode_form({"url": "http://localhost/x.html"}),
+            ]
+        )
+        assert code == 0
+        assert "overlap" in capsys.readouterr().out
+
+    def test_bad_form_nonzero(self, capsys):
+        code = gateway_main([""])
+        assert code == 1
+        assert "Status: 400" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Tests for the DTD-to-spec generator (the paper's future-work item)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html.dtdgen import DTDError, parse_dtd, sample_spec
+from repro.html.spec import get_spec
+
+
+class TestParsing:
+    def test_simple_element(self):
+        spec = parse_dtd("<!ELEMENT FOO - - (#PCDATA)>")
+        elem = spec.element("foo")
+        assert elem is not None and not elem.empty and not elem.optional_end
+
+    def test_empty_element(self):
+        spec = parse_dtd("<!ELEMENT BR - O EMPTY>")
+        assert spec.element("br").empty
+
+    def test_optional_end(self):
+        spec = parse_dtd("<!ELEMENT P - O (#PCDATA)>")
+        elem = spec.element("p")
+        assert elem.optional_end and not elem.empty
+
+    def test_name_group(self):
+        spec = parse_dtd("<!ELEMENT (A|B|C) - - (#PCDATA)>")
+        assert all(spec.is_known(name) for name in "abc")
+
+    def test_parameter_entity_expansion(self):
+        spec = parse_dtd(
+            '<!ENTITY % heads "H1|H2">\n<!ELEMENT (%heads;) - - (#PCDATA)>'
+        )
+        assert spec.is_known("h1") and spec.is_known("h2")
+
+    def test_nested_parameter_entities(self):
+        spec = parse_dtd(
+            '<!ENTITY % a "X">\n<!ENTITY % b "%a;|Y">\n'
+            "<!ELEMENT (%b;) - - (#PCDATA)>"
+        )
+        assert spec.is_known("x") and spec.is_known("y")
+
+    def test_undefined_entity_raises(self):
+        with pytest.raises(DTDError, match="undefined parameter entity"):
+            parse_dtd("<!ELEMENT (%nope;) - - (#PCDATA)>")
+
+    def test_comments_stripped(self):
+        spec = parse_dtd(
+            "<!ELEMENT FOO - - (#PCDATA) -- a comment -->"
+        )
+        assert spec.is_known("foo")
+
+    def test_malformed_element_raises(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT >")
+
+
+class TestAttlist:
+    def test_required_attribute(self):
+        spec = parse_dtd(
+            "<!ELEMENT IMG - O EMPTY>\n"
+            "<!ATTLIST IMG src CDATA #REQUIRED alt CDATA #IMPLIED>"
+        )
+        assert spec.element("img").required_attributes() == ["src"]
+        assert spec.attribute_allowed("img", "alt")
+
+    def test_enumerated_type_becomes_pattern(self):
+        spec = parse_dtd(
+            "<!ELEMENT FORM - - (#PCDATA)>\n"
+            "<!ATTLIST FORM method (get|post) #IMPLIED>"
+        )
+        assert spec.attribute_value_ok("form", "method", "GET")
+        assert not spec.attribute_value_ok("form", "method", "push")
+
+    def test_number_type(self):
+        spec = parse_dtd(
+            "<!ELEMENT T - - (#PCDATA)>\n<!ATTLIST T rows NUMBER #REQUIRED>"
+        )
+        assert spec.attribute_value_ok("t", "rows", "3")
+        assert not spec.attribute_value_ok("t", "rows", "x")
+
+    def test_default_value_token_consumed(self):
+        spec = parse_dtd(
+            "<!ELEMENT T - - (#PCDATA)>\n"
+            '<!ATTLIST T a CDATA "dflt" b CDATA #IMPLIED>'
+        )
+        assert spec.attribute_allowed("t", "a")
+        assert spec.attribute_allowed("t", "b")
+
+    def test_attlist_name_group(self):
+        spec = parse_dtd(
+            "<!ELEMENT (TD|TH) - O (#PCDATA)>\n"
+            "<!ATTLIST (TD|TH) colspan NUMBER #IMPLIED>"
+        )
+        assert spec.attribute_allowed("td", "colspan")
+        assert spec.attribute_allowed("th", "colspan")
+
+    def test_boolean_attribute(self):
+        spec = parse_dtd(
+            "<!ELEMENT I - O EMPTY>\n<!ATTLIST I ismap (ismap) #IMPLIED>"
+        )
+        assert spec.element("i").attribute("ismap").boolean
+
+
+class TestSampleDTD:
+    """Experiment E12: DTD-generated tables agree with the hand-built ones."""
+
+    def test_sample_parses(self):
+        spec = sample_spec()
+        assert len(spec.elements) >= 40
+
+    def test_agreement_with_hand_tables(self):
+        generated = sample_spec()
+        hand = get_spec("html40")
+        for name, elem in generated.elements.items():
+            hand_elem = hand.element(name)
+            assert hand_elem is not None, name
+            assert elem.empty == hand_elem.empty, name
+            assert elem.optional_end == hand_elem.optional_end, name
+
+    def test_required_attribute_agreement(self):
+        generated = sample_spec()
+        hand = get_spec("html40")
+        for name, elem in generated.elements.items():
+            for attr_name, attr in elem.attributes.items():
+                hand_attr = hand.element(name).attribute(attr_name)
+                assert hand_attr is not None, (name, attr_name)
+                assert attr.required == hand_attr.required, (name, attr_name)
+
+    def test_generated_spec_drives_checker(self):
+        from repro import Weblint
+
+        weblint = Weblint(spec=sample_spec())
+        diags = weblint.check_string(
+            "<html><head><title>t</title></head><body>"
+            "<textarea>x</textarea></body></html>"
+        )
+        assert "required-attribute" in {d.message_id for d in diags}

@@ -1,0 +1,197 @@
+"""Edge cases across the stack: nasty inputs, reuse, immutability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Weblint
+from repro.html.spec import get_spec
+from repro.html.tokenizer import tokenize
+from repro.html.tokens import StartTag, Text
+from repro.site.sitecheck import SiteChecker
+from repro.www.virtualweb import VirtualWeb
+from repro.www.message import Request
+from tests.conftest import ids, make_document
+
+
+class TestTokenizerEdges:
+    def test_only_whitespace(self):
+        (token,) = tokenize("   \n\t  ")
+        assert token.is_whitespace
+
+    def test_tag_at_very_end(self):
+        tokens = tokenize("text<p>")
+        assert isinstance(tokens[-1], StartTag)
+
+    def test_lt_at_eof(self):
+        tokens = tokenize("text <")
+        assert tokens[-1].text == "<"
+
+    def test_crlf_line_endings(self):
+        tokens = tokenize("<p>\r\n<b>")
+        assert tokens[-1].line == 2
+
+    def test_many_attributes(self):
+        attrs = " ".join(f'a{i}="{i}"' for i in range(60))
+        (tag,) = tokenize(f"<p {attrs}>")
+        assert len(tag.attributes) == 60
+
+    def test_attribute_name_only_equals(self):
+        (tag,) = tokenize("<p a=>")
+        attr = tag.get("a")
+        assert attr.has_value and attr.value == ""
+
+    def test_junk_in_tag_skipped(self):
+        (tag,) = tokenize("<p ~~ class='x'>")
+        assert tag.get("class") is not None
+
+    def test_comment_immediately_at_eof(self):
+        (token,) = tokenize("<!---->")
+        assert token.text == ""
+
+    def test_doctype_with_internal_subset_chars(self):
+        tokens = tokenize('<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0//EN">')
+        assert tokens[0].is_doctype
+
+    def test_very_long_line_positions(self):
+        source = "x" * 5000 + "<p>"
+        tokens = tokenize(source)
+        assert tokens[1].column == 5001
+
+    def test_nul_bytes_survive(self):
+        tokens = tokenize("a\x00b<p>c\x00d</p>")
+        assert any(isinstance(t, StartTag) for t in tokens)
+
+
+class TestEngineEdges:
+    def test_reuse_same_weblint_many_documents(self, weblint):
+        first = weblint.check_string(make_document("<p><b>u</p>"))
+        second = weblint.check_string(make_document("<p>clean</p>"))
+        third = weblint.check_string(make_document("<p><b>u</p>"))
+        assert ids(second) == set()
+        assert [(d.line, d.message_id) for d in first] == [
+            (d.line, d.message_id) for d in third
+        ]
+
+    def test_spec_not_mutated_by_checking(self, weblint):
+        spec = get_spec("html40")
+        before = len(spec.elements)
+        weblint.check_string(make_document("<zorp>x</zorp>"))
+        assert len(get_spec("html40").elements) == before
+
+    def test_document_of_only_comments(self, weblint):
+        assert weblint.check_string("<!-- a --><!-- b -->") == []
+
+    def test_document_of_only_doctype(self, weblint):
+        assert weblint.check_string("<!DOCTYPE HTML PUBLIC 'x'>") == []
+
+    def test_deeply_nested_document(self, weblint):
+        depth = 200
+        body = "<div>" * depth + "<p>deep</p>" + "</div>" * depth
+        diags = weblint.check_string(make_document(body))
+        assert diags == []
+
+    def test_pathological_unclosed_pile(self, weblint):
+        body = "<b>" * 100 + "text"
+        diags = weblint.check_string(make_document(body))
+        unclosed = [d for d in diags if d.message_id == "unclosed-element"]
+        assert len(unclosed) == 100
+
+    def test_interleaved_overlaps(self, weblint):
+        body = "<p><b><i><em>x</b></i></em></p>"
+        diags = weblint.check_string(make_document(body))
+        assert "illegal-closing" not in ids(diags)
+
+    def test_end_tag_case_insensitive_matching(self, weblint):
+        diags = weblint.check_string(make_document("<P><B>x</b></p>"))
+        assert "unclosed-element" not in ids(diags)
+
+    def test_doctype_after_content_does_not_count(self, weblint):
+        source = "<html><head><!DOCTYPE HTML PUBLIC 'x'><title>t</title></head><body><p>x</p></body></html>"
+        assert "require-doctype" in ids(weblint.check_string(source))
+
+    def test_multiple_body_content_after_close(self, weblint):
+        source = make_document("<p>x</p>") + "<p>trailing</p>"
+        diags = weblint.check_string(source)
+        assert "html-outer" in ids(diags)
+
+    def test_form_in_table_cell_allowed(self, weblint):
+        body = (
+            '<table summary="s"><tr><td>'
+            '<form action="a"><p><input type="submit"></p></form>'
+            "</td></tr></table>"
+        )
+        assert weblint.check_string(make_document(body)) == []
+
+    def test_unknown_element_inside_known(self, weblint):
+        diags = weblint.check_string(
+            make_document("<p><wibble>x</wibble> normal</p>")
+        )
+        unknown = [d for d in diags if d.message_id == "unknown-element"]
+        assert len(unknown) == 1
+        assert "unclosed-element" not in ids(diags)
+
+
+class TestOptionsEdges:
+    def test_stop_after_zero(self):
+        options = Options.with_defaults()
+        options.stop_after = 0
+        weblint = Weblint(options=options)
+        assert weblint.check_string("<h1>x</h2>") == []
+
+    def test_spec_object_shared_between_weblints(self):
+        a = Weblint()
+        b = Weblint()
+        assert a.spec is b.spec  # registry cache
+
+    def test_options_not_shared_between_weblints(self):
+        a = Weblint()
+        b = Weblint()
+        a.options.disable("all")
+        assert b.options.enabled
+
+
+class TestSiteEdges:
+    def test_empty_directory(self, tmp_path):
+        report = SiteChecker().check_directory(tmp_path)
+        assert report.pages == []
+        assert report.count() == 0
+
+    def test_single_page_site(self, tmp_path):
+        (tmp_path / "index.html").write_text(make_document("<p>x</p>"))
+        report = SiteChecker().check_directory(tmp_path)
+        assert report.count("orphan-page") == 0  # the index is the root
+
+    def test_unreadable_extension_skipped(self, tmp_path):
+        (tmp_path / "index.html").write_text(make_document("<p>x</p>"))
+        (tmp_path / "style.css").write_text("body { }")
+        report = SiteChecker().check_directory(tmp_path)
+        assert report.pages == ["index.html"]
+
+    def test_link_with_query_string(self, tmp_path):
+        (tmp_path / "index.html").write_text(
+            make_document('<p><a href="page.html?x=1">a page</a></p>')
+        )
+        (tmp_path / "page.html").write_text(make_document("<p>y</p>"))
+        report = SiteChecker().check_directory(tmp_path)
+        # ?query is stripped when resolving pages for orphan analysis...
+        assert report.count("orphan-page") == 0
+
+
+class TestVirtualWebEdges:
+    def test_distinct_ports_are_distinct_resources(self):
+        web = VirtualWeb()
+        web.add_page("http://h:8080/x", "eight")
+        web.add_page("http://h:9090/x", "nine")
+        assert web.handle(Request("GET", "http://h:8080/x")).body == "eight"
+        assert web.handle(Request("GET", "http://h:9090/x")).body == "nine"
+
+    def test_default_port_equivalence(self):
+        web = VirtualWeb()
+        web.add_page("http://h:80/x", "body")
+        assert web.handle(Request("GET", "http://h/x")).status == 200
+
+    def test_path_dot_segments_normalised(self):
+        web = VirtualWeb()
+        web.add_page("http://h/a/b.html", "body")
+        assert web.handle(Request("GET", "http://h/a/../a/b.html")).status == 200

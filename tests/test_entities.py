@@ -1,0 +1,94 @@
+"""Unit tests for the entity tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html import entities
+
+
+class TestTables:
+    def test_latin1_size(self):
+        # HTML 4.0 defines 96 Latin-1 entities (nbsp..yuml).
+        assert len(entities.LATIN1) == 96
+
+    def test_union_is_consistent(self):
+        assert set(entities.LATIN1) <= set(entities.ENTITIES)
+        assert set(entities.SYMBOLS) <= set(entities.ENTITIES)
+        assert set(entities.SPECIAL) <= set(entities.ENTITIES)
+
+    def test_core_entities_present(self):
+        for name, char in (("lt", "<"), ("gt", ">"), ("amp", "&"), ("quot", '"')):
+            assert entities.ENTITIES[name] == char
+
+    def test_case_sensitive(self):
+        assert entities.ENTITIES["Agrave"] == "À"
+        assert entities.ENTITIES["agrave"] == "à"
+
+    def test_html32_lacks_40_entities(self):
+        assert "euro" not in entities.HTML32_ENTITIES
+        assert "copy" in entities.HTML32_ENTITIES
+
+
+class TestNumeric:
+    @pytest.mark.parametrize(
+        "ref,expected",
+        [("#65", "A"), ("#x41", "A"), ("#X41", "A"), ("#169", "©")],
+    )
+    def test_decode(self, ref, expected):
+        assert entities.decode_numeric(ref) == expected
+
+    @pytest.mark.parametrize("ref", ["#1114112", "#xD800", "#55296"])
+    def test_out_of_range(self, ref):
+        with pytest.raises(ValueError):
+            entities.decode_numeric(ref)
+
+    def test_not_numeric(self):
+        with pytest.raises(ValueError):
+            entities.decode_numeric("copy")
+
+
+class TestKnownness:
+    def test_known_named(self):
+        assert entities.is_known_entity("copy")
+
+    def test_unknown_named(self):
+        assert not entities.is_known_entity("zorp")
+
+    def test_known_numeric(self):
+        assert entities.is_known_entity("#65")
+        assert entities.is_known_entity("#x1F600")
+
+    def test_bad_numeric(self):
+        assert not entities.is_known_entity("#xD800")
+
+    def test_custom_table(self):
+        assert not entities.is_known_entity("euro", known=entities.HTML32_ENTITIES)
+
+
+class TestExpand:
+    def test_expand_named(self):
+        assert entities.expand("a &lt; b &amp; c") == "a < b & c"
+
+    def test_expand_numeric(self):
+        assert entities.expand("&#65;&#x42;") == "AB"
+
+    def test_unknown_left_verbatim(self):
+        assert entities.expand("&zorp; stays") == "&zorp; stays"
+
+    def test_unterminated_still_expands(self):
+        # Browsers expand &copy even without the semicolon.
+        assert entities.expand("&copy 1998") == "© 1998"
+
+
+class TestFindReferences:
+    def test_positions(self):
+        found = entities.find_references("x &copy; y &zorp z")
+        assert found[0] == ("copy", 2, True, True)
+        assert found[1] == ("zorp", 11, False, False)
+
+    def test_no_references(self):
+        assert entities.find_references("plain text") == []
+
+    def test_ampersand_alone_not_reference(self):
+        assert entities.find_references("AT & T") == []

@@ -1,0 +1,125 @@
+"""End-to-end tests for the TCP HTTP server (real sockets)."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.gateway.gateway import Gateway
+from repro.www.server import HTTPServer, http_get
+from repro.www.virtualweb import VirtualWeb
+from tests.conftest import PAPER_EXAMPLE, make_document
+
+
+@pytest.fixture
+def web():
+    instance = VirtualWeb()
+    instance.add_page("http://127.0.0.1/index.html", make_document("<p>home</p>"))
+    instance.add_page("http://127.0.0.1/test.html", PAPER_EXAMPLE)
+    instance.add_redirect("http://127.0.0.1/old.html", "/index.html")
+    return instance
+
+
+def _rebind(web: VirtualWeb, server: HTTPServer) -> None:
+    """Re-home the fixture pages onto the server's ephemeral port."""
+    for path in ("/index.html", "/test.html"):
+        response = web.handle(
+            __import__("repro.www.message", fromlist=["Request"]).Request(
+                "GET", f"http://127.0.0.1{path}"
+            )
+        )
+        web.add_page(f"{server.base_url}{path}", response.body)
+    web.add_redirect(f"{server.base_url}/old.html", "/index.html")
+
+
+class TestHTTPServer:
+    def test_serves_page(self, web):
+        with HTTPServer(web) as server:
+            _rebind(web, server)
+            status, headers, body = http_get(f"{server.base_url}/index.html")
+        assert status == 200
+        assert "home" in body
+        assert headers["content-type"].startswith("text/html")
+
+    def test_404(self, web):
+        with HTTPServer(web) as server:
+            status, _headers, body = http_get(f"{server.base_url}/none.html")
+        assert status == 404 and "404" in body
+
+    def test_redirect_passes_through(self, web):
+        with HTTPServer(web) as server:
+            _rebind(web, server)
+            status, headers, _body = http_get(f"{server.base_url}/old.html")
+        assert status == 302
+        assert headers["location"] == "/index.html"
+
+    def test_content_length_accurate(self, web):
+        with HTTPServer(web) as server:
+            _rebind(web, server)
+            _status, headers, body = http_get(f"{server.base_url}/index.html")
+        assert int(headers["content-length"]) == len(body.encode("utf-8"))
+
+    def test_bad_request_line(self, web):
+        with HTTPServer(web) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            ) as connection:
+                connection.sendall(b"NONSENSE\r\n\r\n")
+                data = connection.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+
+    def test_unsupported_method(self, web):
+        with HTTPServer(web) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            ) as connection:
+                connection.sendall(b"POST /x HTTP/1.0\r\n\r\n")
+                data = connection.recv(65536)
+        assert b"405" in data.split(b"\r\n", 1)[0]
+
+    def test_concurrent_requests(self, web):
+        with HTTPServer(web) as server:
+            _rebind(web, server)
+            results = [
+                http_get(f"{server.base_url}/index.html")[0]
+                for _ in range(8)
+            ]
+        assert results == [200] * 8
+
+    def test_requests_counted(self, web):
+        with HTTPServer(web) as server:
+            _rebind(web, server)
+            http_get(f"{server.base_url}/index.html")
+            http_get(f"{server.base_url}/index.html")
+            assert server.requests_served == 2
+
+
+class TestGatewayOverTCP:
+    """The 'standard gateway distribution' of section 4.6, end to end."""
+
+    def test_gateway_report_over_the_wire(self, web):
+        from repro.gateway.forms import percent_encode
+
+        gateway = Gateway()
+        with HTTPServer(web, gateway=gateway) as server:
+            encoded = percent_encode(PAPER_EXAMPLE)
+            status, _headers, body = http_get(
+                f"{server.base_url}/weblint?html={encoded}"
+            )
+        assert status == 200
+        assert "odd number of quotes" in body
+
+    def test_gateway_error_status_over_the_wire(self, web):
+        gateway = Gateway()
+        with HTTPServer(web, gateway=gateway) as server:
+            status, _headers, body = http_get(f"{server.base_url}/weblint")
+        assert status == 400
+
+    def test_gateway_path_configurable(self, web):
+        gateway = Gateway()
+        with HTTPServer(web, gateway=gateway, gateway_path="/check") as server:
+            status, _headers, _body = http_get(
+                f"{server.base_url}/check?html=%3Cp%3Ex%3C%2Fp%3E"
+            )
+        assert status == 200

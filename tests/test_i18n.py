@@ -1,0 +1,106 @@
+"""Tests for message internationalisation (paper section 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Weblint
+from repro.core.diagnostics import Diagnostic
+from repro.core.i18n import (
+    LocalisedReporter,
+    TRANSLATIONS,
+    available_locales,
+    coverage,
+    localise,
+    placeholders,
+    template_for,
+)
+from repro.core.messages import CATALOG
+
+
+class TestCatalogConsistency:
+    @pytest.mark.parametrize("locale", sorted(TRANSLATIONS))
+    def test_translations_only_for_real_messages(self, locale):
+        unknown = set(TRANSLATIONS[locale]) - set(CATALOG)
+        assert not unknown, unknown
+
+    @pytest.mark.parametrize("locale", sorted(TRANSLATIONS))
+    def test_full_coverage(self, locale):
+        assert coverage(locale) == 1.0
+
+    @pytest.mark.parametrize("locale", sorted(TRANSLATIONS))
+    def test_placeholders_match_english(self, locale):
+        """Every translation consumes exactly the English placeholders."""
+        mismatches = []
+        for message_id, template in TRANSLATIONS[locale].items():
+            english = placeholders(CATALOG[message_id].template)
+            translated = placeholders(template)
+            if english != translated:
+                mismatches.append((message_id, english, translated))
+        assert not mismatches, mismatches
+
+
+class TestLookup:
+    def test_english_falls_back(self):
+        assert template_for("img-alt", "en") is None
+        assert template_for("img-alt", "") is None
+
+    def test_french_lookup(self):
+        assert "ALT" in template_for("img-alt", "fr")
+
+    def test_region_variants(self):
+        assert template_for("img-alt", "fr-CA") == template_for("img-alt", "fr")
+        assert template_for("img-alt", "de_AT") == template_for("img-alt", "de")
+
+    def test_unknown_locale_falls_back(self):
+        assert template_for("img-alt", "eo") is None
+        assert coverage("eo") == 0.0
+
+    def test_available_locales(self):
+        assert available_locales() == ["en", "de", "fr"]
+
+
+class TestRendering:
+    def _diagnostic(self):
+        return Diagnostic.build(
+            "unclosed-element",
+            line=4,
+            filename="test.html",
+            element="TITLE",
+            open_line=3,
+        )
+
+    def test_localise_french(self):
+        text = localise(self._diagnostic(), "fr")
+        assert text == (
+            "balise fermante </TITLE> introuvable pour <TITLE> "
+            "ouverte à la ligne 3"
+        )
+
+    def test_localise_german(self):
+        text = localise(self._diagnostic(), "de")
+        assert "kein schließendes </TITLE>" in text
+
+    def test_localise_fallback_is_original(self):
+        diagnostic = self._diagnostic()
+        assert localise(diagnostic, "en") == diagnostic.text
+
+    def test_localised_reporter(self, paper_example):
+        weblint = Weblint(reporter=LocalisedReporter("fr"))
+        report = weblint.report(
+            weblint.check_string(paper_example, "test.html")
+        )
+        assert report.splitlines()[0] == (
+            "test.html(1): le premier élément n'était pas une "
+            "déclaration DOCTYPE"
+        )
+
+    def test_whole_paper_example_renders_in_both_locales(self, paper_example):
+        weblint = Weblint()
+        diagnostics = weblint.check_string(paper_example, "test.html")
+        for locale in ("fr", "de"):
+            for diagnostic in diagnostics:
+                text = localise(diagnostic, locale)
+                assert text and text != diagnostic.text, (
+                    locale, diagnostic.message_id,
+                )

@@ -1,0 +1,112 @@
+"""Tests for page-specific configuration in comments (paper section 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Weblint
+from repro.core.rules.inline import is_directive_comment, parse_directives
+from tests.conftest import ids, make_document
+
+
+class TestParsing:
+    def test_not_a_directive(self):
+        assert parse_directives(" just a note ") is None
+
+    def test_simple_disable(self):
+        assert parse_directives(" weblint: disable img-alt ") == [
+            ("disable", ["img-alt"])
+        ]
+
+    def test_multiple_clauses(self):
+        assert parse_directives("weblint: push; disable all") == [
+            ("push", []),
+            ("disable", ["all"]),
+        ]
+
+    def test_comma_separated_ids(self):
+        assert parse_directives("weblint: enable a, b,c") == [
+            ("enable", ["a", "b", "c"])
+        ]
+
+    def test_case_insensitive_prefix(self):
+        assert is_directive_comment("WEBLINT: pop")
+
+    def test_empty_clause_skipped(self):
+        assert parse_directives("weblint: ;;pop;") == [("pop", [])]
+
+
+class TestBehaviour:
+    def test_disable_from_point_onward(self, weblint):
+        source = make_document(
+            '<p><img src="a.gif"></p>\n'
+            "<!-- weblint: disable img-alt, img-size -->\n"
+            '<p><img src="b.gif"></p>'
+        )
+        diags = weblint.check_string(source)
+        img_lines = [d.line for d in diags if d.message_id == "img-alt"]
+        assert len(img_lines) == 1  # only the one before the directive
+
+    def test_enable_from_point_onward(self, weblint):
+        source = make_document(
+            "<p><b>before</b></p>\n"
+            "<!-- weblint: enable physical-font -->\n"
+            "<p><b>after</b></p>"
+        )
+        diags = weblint.check_string(source)
+        fonts = [d for d in diags if d.message_id == "physical-font"]
+        assert len(fonts) == 1
+        assert fonts[0].line > 7
+
+    def test_push_pop_scopes_override(self, weblint):
+        source = make_document(
+            "<!-- weblint: push; disable img-alt, img-size -->\n"
+            '<p><img src="a.gif"></p>\n'
+            "<!-- weblint: pop -->\n"
+            '<p><img src="b.gif"></p>'
+        )
+        diags = weblint.check_string(source)
+        assert len([d for d in diags if d.message_id == "img-alt"]) == 1
+
+    def test_category_names_accepted(self, weblint):
+        source = make_document(
+            "<!-- weblint: disable warnings -->\n"
+            '<p><img src="a.gif"></p>'
+        )
+        diags = weblint.check_string(source)
+        assert "img-alt" not in ids(diags)
+
+    def test_unknown_identifier_ignored(self, weblint):
+        source = make_document(
+            "<!-- weblint: disable no-such-message -->\n<p>x</p>"
+        )
+        assert weblint.check_string(source) == []  # no crash, no message
+
+    def test_pop_without_push_ignored(self, weblint):
+        source = make_document("<!-- weblint: pop -->\n<p>x</p>")
+        assert weblint.check_string(source) == []
+
+    def test_unknown_verb_ignored(self, weblint):
+        source = make_document("<!-- weblint: frobnicate -->\n<p>x</p>")
+        assert weblint.check_string(source) == []
+
+    def test_directive_does_not_count_as_markup_comment(self, weblint):
+        source = make_document("<!-- weblint: disable img-size -->\n<p>x</p>")
+        assert "markup-in-comment" not in ids(weblint.check_string(source))
+
+    def test_cannot_resurrect_for_earlier_lines(self, weblint):
+        # Directives are strictly forward-acting.
+        source = make_document(
+            '<p><img src="a.gif"></p>\n<!-- weblint: enable all -->'
+        )
+        diags = weblint.check_string(source)
+        assert "table-summary" not in ids(diags)
+
+    def test_fresh_document_resets_overrides(self, weblint):
+        suppressed = make_document(
+            "<!-- weblint: disable img-alt, img-size -->\n"
+            '<p><img src="a.gif"></p>'
+        )
+        plain = make_document('<p><img src="b.gif"></p>')
+        assert "img-alt" not in ids(weblint.check_string(suppressed))
+        assert "img-alt" in ids(weblint.check_string(plain))

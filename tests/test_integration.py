@@ -1,0 +1,156 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Weblint
+from repro.gateway.forms import parse_query_string, encode_form
+from repro.gateway.gateway import Gateway
+from repro.robot.poacher import Poacher
+from repro.site.sitecheck import SiteChecker
+from repro.workload import ErrorSeeder, PageGenerator
+from repro.www.client import UserAgent
+from repro.www.virtualweb import VirtualWeb
+
+
+@pytest.fixture
+def clean_site_dir(tmp_path):
+    """A generated site that is fully intact on disk."""
+    site = PageGenerator(seed=21).site(5)
+    for name, body in site.items():
+        (tmp_path / name).write_text(body)
+    (tmp_path / "images").mkdir()
+    for index in range(4):
+        (tmp_path / "images" / f"figure{index}.gif").write_text("GIF89a...")
+    return tmp_path
+
+
+class TestCleanSiteEndToEnd:
+    def test_sitecheck_is_clean(self, clean_site_dir):
+        report = SiteChecker().check_directory(clean_site_dir)
+        assert report.count() == 0, [
+            str(d) for d in report.all_diagnostics()
+        ]
+
+    def test_poacher_finds_no_problems(self, clean_site_dir):
+        web = VirtualWeb()
+        web.add_site("http://site/", clean_site_dir)
+        report = Poacher(UserAgent(web)).crawl("http://site/index.html")
+        assert report.total_problems() == 0
+        assert len(report.pages) == 5
+
+    def test_poacher_and_sitecheck_agree_on_pages(self, clean_site_dir):
+        site_report = SiteChecker().check_directory(clean_site_dir)
+        web = VirtualWeb()
+        web.add_site("http://site/", clean_site_dir)
+        crawl = Poacher(UserAgent(web)).crawl("http://site/index.html")
+        html_pages = [p for p in site_report.pages if p.endswith(".html")]
+        assert len(crawl.pages) == len(html_pages)
+
+
+class TestBrokenSiteEndToEnd:
+    def test_seeded_problems_flow_through_all_front_ends(self, tmp_path):
+        generator = PageGenerator(seed=33)
+        site = generator.site(3)
+        seeder = ErrorSeeder(seed=33)
+        seeded = seeder.seed_specific(
+            site["page1.html"], ("mismatch-heading", "drop-alt")
+        )
+        site["page1.html"] = seeded.source
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        (tmp_path / "images").mkdir()
+        for index in range(4):
+            (tmp_path / "images" / f"figure{index}.gif").write_text("GIF")
+
+        # 1. Library API.
+        api_ids = {
+            d.message_id
+            for d in Weblint().check_file(tmp_path / "page1.html")
+        }
+        assert {"heading-mismatch", "img-alt"} <= api_ids
+
+        # 2. Site checker.
+        report = SiteChecker().check_directory(tmp_path)
+        site_ids = {
+            d.message_id for d in report.page_diagnostics["page1.html"]
+        }
+        assert {"heading-mismatch", "img-alt"} <= site_ids
+
+        # 3. Poacher over the virtual web.
+        web = VirtualWeb()
+        web.add_site("http://s/", tmp_path)
+        crawl = Poacher(UserAgent(web)).crawl("http://s/index.html")
+        page = crawl.page("http://s/page1.html")
+        robot_ids = {d.message_id for d in page.diagnostics}
+        assert {"heading-mismatch", "img-alt"} <= robot_ids
+
+        # 4. Gateway with the same page pasted in.
+        response = Gateway().handle(
+            parse_query_string(encode_form({"html": seeded.source}))
+        )
+        assert "malformed heading" in response.body
+
+    def test_robots_txt_respected_end_to_end(self, clean_site_dir):
+        (clean_site_dir / "robots.txt").write_text(
+            "User-agent: *\nDisallow: /page2.html\n"
+        )
+        web = VirtualWeb()
+        web.add_site("http://s/", clean_site_dir)
+        # add_site serves robots.txt as a page too
+        report = Poacher(UserAgent(web)).crawl("http://s/index.html")
+        urls = {p.url for p in report.pages}
+        assert "http://s/page2.html" not in urls
+        assert "http://s/page1.html" in urls
+
+
+class TestConfigurationEndToEnd:
+    def test_site_user_cli_layers(self, tmp_path):
+        from repro.config import load_configuration
+
+        page = tmp_path / "p.html"
+        page.write_text(PageGenerator(seed=1).page().replace(' alt="', ' xalt="'))
+
+        site_cfg = tmp_path / "site.cfg"
+        site_cfg.write_text("disable unknown-attribute\nset spec netscape\n")
+        user_cfg = tmp_path / "user.cfg"
+        user_cfg.write_text("enable unknown-attribute\n")
+
+        options = load_configuration(
+            site_file=str(site_cfg), user_file=str(user_cfg)
+        )
+        assert options.spec_name == "netscape"       # site survives
+        assert options.is_enabled("unknown-attribute")  # user wins
+
+        options.disable("unknown-attribute")          # CLI wins over both
+        diags = Weblint(options=options).check_file(page)
+        assert not any(d.message_id == "unknown-attribute" for d in diags)
+
+    def test_spec_affects_whole_pipeline(self):
+        page = PageGenerator(seed=2).page().replace(
+            "<p>", '<p><blink>new!</blink> ', 1
+        )
+        default_ids = {d.message_id for d in Weblint().check_string(page)}
+        assert "netscape-markup" in default_ids
+
+        options = Options.with_defaults()
+        options.spec_name = "netscape"
+        navigator_ids = {
+            d.message_id for d in Weblint(options=options).check_string(page)
+        }
+        assert "netscape-markup" not in navigator_ids
+
+
+class TestScalability:
+    def test_hundred_page_crawl(self):
+        generator = PageGenerator(seed=50)
+        web = VirtualWeb()
+        web.add_site("http://big/", generator.site(100))
+        options = Options.with_defaults()
+        options.follow_links = False  # generated images are not mounted
+        report = Poacher(UserAgent(web), options=options).crawl(
+            "http://big/index.html"
+        )
+        assert len(report.pages) == 100
+        assert report.total_problems() == 0

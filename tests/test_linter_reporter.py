@@ -1,0 +1,163 @@
+"""Tests for the Weblint facade and the reporters."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    Category,
+    Diagnostic,
+    HTMLReporter,
+    JSONReporter,
+    LintReporter,
+    Options,
+    ShortReporter,
+    VerboseReporter,
+    Weblint,
+    WeblintError,
+    get_reporter,
+)
+from repro.www.client import UserAgent
+from repro.www.virtualweb import VirtualWeb
+from tests.conftest import ids, make_document
+
+
+class TestWeblintFacade:
+    def test_check_string(self, weblint):
+        assert weblint.check_string(make_document("<p>x</p>")) == []
+
+    def test_check_file(self, tmp_path):
+        page = tmp_path / "page.html"
+        page.write_text(make_document("<p><b>unclosed</p>"))
+        diags = Weblint().check_file(page)
+        assert "unclosed-element" in ids(diags)
+        assert diags[0].filename == str(page)
+
+    def test_check_missing_file(self, tmp_path):
+        with pytest.raises(WeblintError, match="cannot read"):
+            Weblint().check_file(tmp_path / "absent.html")
+
+    def test_check_url(self):
+        web = VirtualWeb()
+        web.add_page("http://h/x.html", make_document("<p><b>u</p>"))
+        diags = Weblint().check_url("http://h/x.html", agent=UserAgent(web))
+        assert "unclosed-element" in ids(diags)
+        assert diags[0].filename == "http://h/x.html"
+
+    def test_check_url_404(self):
+        web = VirtualWeb()
+        with pytest.raises(WeblintError, match="404"):
+            Weblint().check_url("http://h/missing.html", agent=UserAgent(web))
+
+    def test_check_url_follows_redirect(self):
+        web = VirtualWeb()
+        web.add_page("http://h/new.html", make_document("<p>x</p>"))
+        web.add_redirect("http://h/old.html", "/new.html")
+        diags = Weblint().check_url("http://h/old.html", agent=UserAgent(web))
+        assert diags == []
+
+    def test_spec_by_name(self):
+        weblint = Weblint(spec="html32")
+        assert weblint.spec.name == "html32"
+
+    def test_options_spec_name_used(self):
+        options = Options.with_defaults()
+        options.spec_name = "netscape"
+        assert Weblint(options=options).spec.name == "netscape"
+
+    def test_counts(self, weblint, paper_example):
+        counts = Weblint.counts(weblint.check_string(paper_example))
+        assert counts["error"] == 5
+        assert counts["warning"] == 2
+
+    def test_worst_category(self, weblint, paper_example):
+        diags = weblint.check_string(paper_example)
+        assert Weblint.worst_category(diags) is Category.ERROR
+        assert Weblint.worst_category([]) is None
+
+    def test_run_file_writes_report(self, tmp_path):
+        page = tmp_path / "p.html"
+        page.write_text(make_document("<p><b>u</p>"))
+        stream = io.StringIO()
+        Weblint().run_file(page, stream=stream)
+        assert "no closing </B>" in stream.getvalue()
+
+    def test_short_format_option_selects_reporter(self):
+        options = Options.with_defaults()
+        options.short_format = True
+        assert isinstance(Weblint(options=options).reporter, ShortReporter)
+
+
+def _sample_diagnostic():
+    return Diagnostic.build(
+        "require-doctype", line=1, filename="test.html"
+    )
+
+
+class TestReporters:
+    def test_lint_format(self):
+        line = LintReporter().format(_sample_diagnostic())
+        assert line == (
+            "test.html(1): first element was not DOCTYPE specification"
+        )
+
+    def test_short_format(self):
+        line = ShortReporter().format(_sample_diagnostic())
+        assert line == "line 1: first element was not DOCTYPE specification"
+
+    def test_verbose_includes_id_and_category(self):
+        text = VerboseReporter().format(_sample_diagnostic())
+        assert "require-doctype" in text and "warning" in text
+
+    def test_verbose_footer_summary(self):
+        text = VerboseReporter().report([_sample_diagnostic()] * 3)
+        assert "3 message(s)" in text and "3 warnings" in text
+
+    def test_html_reporter_escapes(self):
+        diag = Diagnostic(
+            message_id="x",
+            category=Category.ERROR,
+            text="bad <tag> & stuff",
+            line=2,
+        )
+        text = HTMLReporter().format(diag)
+        assert "&lt;tag&gt;" in text and "&amp;" in text
+
+    def test_html_reporter_clean_message(self):
+        text = HTMLReporter().report([])
+        assert "nice page" in text
+
+    def test_json_reporter_parses(self):
+        payload = JSONReporter().report([_sample_diagnostic()])
+        data = json.loads(payload)
+        assert data[0]["id"] == "require-doctype"
+        assert data[0]["line"] == 1
+
+    def test_report_to_stream(self):
+        stream = io.StringIO()
+        LintReporter().report([_sample_diagnostic()], stream=stream)
+        assert stream.getvalue().endswith("\n")
+
+    def test_get_reporter(self):
+        assert isinstance(get_reporter("short"), ShortReporter)
+        assert isinstance(get_reporter("HTML"), HTMLReporter)
+
+    def test_get_reporter_unknown(self):
+        with pytest.raises(KeyError, match="unknown reporter"):
+            get_reporter("yaml")
+
+
+class TestReporterSubclassing:
+    """Paper section 5.6: the warnings module can be sub-classed."""
+
+    def test_custom_wording(self, weblint, paper_example):
+        class ShoutingReporter(LintReporter):
+            def format(self, diagnostic):
+                return super().format(diagnostic).upper()
+
+        weblint = Weblint(reporter=ShoutingReporter())
+        text = weblint.report(weblint.check_string(paper_example))
+        assert "DOCTYPE SPECIFICATION" in text

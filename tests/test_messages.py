@@ -1,0 +1,115 @@
+"""Unit tests for the message catalog -- including the paper's statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import (
+    CATALOG,
+    Category,
+    catalog_statistics,
+    default_enabled_ids,
+    heritage_messages,
+    ids_in_category,
+    message,
+)
+
+
+class TestPaperStatistics:
+    """Paper section 4.3: 'Weblint 1.020 supports 50 different output
+    messages, 42 of which are enabled by default.'"""
+
+    def test_heritage_count_is_50(self):
+        assert len(heritage_messages()) == 50
+
+    def test_heritage_default_enabled_is_42(self):
+        enabled = [m for m in heritage_messages() if m.enabled_default]
+        assert len(enabled) == 42
+
+    def test_statistics_helper(self):
+        stats = catalog_statistics()
+        assert stats["heritage_total"] == 50
+        assert stats["heritage_default_enabled"] == 42
+
+    def test_weblint2_additions_exist(self):
+        additions = [m for m in CATALOG.values() if m.since == "2.0"]
+        assert len(additions) >= 5
+
+
+class TestCatalogIntegrity:
+    def test_ids_unique_and_kebab_case(self):
+        for message_id in CATALOG:
+            assert message_id == message_id.lower()
+            assert " " not in message_id
+
+    def test_three_categories_used(self):
+        for category in Category:
+            assert ids_in_category(category), category
+
+    def test_every_message_has_description(self):
+        for entry in CATALOG.values():
+            assert entry.description, entry.id
+
+    def test_lookup(self):
+        assert message("img-alt").category is Category.WARNING
+
+    def test_unknown_lookup_raises_helpfully(self):
+        with pytest.raises(KeyError, match="unknown message id"):
+            message("no-such-message")
+
+    def test_default_enabled_subset(self):
+        assert default_enabled_ids() <= set(CATALOG)
+
+    def test_all_errors_enabled_by_default(self):
+        # Errors identify "things you should fix" -- none are optional.
+        for entry in CATALOG.values():
+            if entry.category is Category.ERROR:
+                assert entry.enabled_default, entry.id
+
+
+class TestTemplates:
+    def test_format_with_arguments(self):
+        text = message("unclosed-element").format(element="TITLE", open_line=3)
+        assert text == "no closing </TITLE> seen for <TITLE> on line 3"
+
+    def test_paper_wording_doctype(self):
+        assert (
+            message("require-doctype").format()
+            == "first element was not DOCTYPE specification"
+        )
+
+    def test_paper_wording_heading(self):
+        text = message("heading-mismatch").format(
+            open_heading="H1", close_heading="H2"
+        )
+        assert text == "malformed heading - open tag is <H1>, but closing is </H2>"
+
+    def test_paper_wording_overlap(self):
+        text = message("overlapped-element").format(
+            closed="B", close_line=7, open_element="A", open_line=7
+        )
+        assert text == (
+            "</B> on line 7 seems to overlap <A>, opened on line 7"
+        )
+
+    def test_missing_argument_raises(self):
+        with pytest.raises(KeyError):
+            message("unclosed-element").format()
+
+
+class TestCategoryParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("error", Category.ERROR),
+            ("ERROR", Category.ERROR),
+            ("warning", Category.WARNING),
+            ("style", Category.STYLE),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Category.parse(text) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Category.parse("fatal")

@@ -1,0 +1,160 @@
+"""Tests for navigation analysis and fragment-link validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.site.navigation import analyse_navigation
+from repro.site.sitecheck import SiteChecker
+from tests.conftest import make_document
+
+
+class TestAnalyseNavigation:
+    def test_depths_bfs(self):
+        report = analyse_navigation(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")],
+            root="a",
+        )
+        assert report.depths == {"a": 0, "b": 1, "c": 1, "d": 2}
+        assert report.max_depth == 2
+
+    def test_unreachable(self):
+        report = analyse_navigation(
+            ["a", "b", "island"], [("a", "b")], root="a"
+        )
+        assert report.unreachable == ["island"]
+
+    def test_dead_ends(self):
+        report = analyse_navigation(
+            ["a", "b"], [("a", "b")], root="a"
+        )
+        assert report.dead_ends == ["b"]
+
+    def test_self_link_is_still_dead_end(self):
+        report = analyse_navigation(
+            ["a", "b"], [("a", "b"), ("b", "b")], root="a"
+        )
+        assert "b" in report.dead_ends
+
+    def test_hubs(self):
+        report = analyse_navigation(
+            ["a", "b", "c"],
+            [("a", "c"), ("b", "c"), ("c", "a")],
+            root="a",
+        )
+        assert report.hubs(1) == [("c", 2)]
+
+    def test_depth_histogram(self):
+        report = analyse_navigation(
+            ["a", "b", "c"], [("a", "b"), ("a", "c")], root="a"
+        )
+        assert report.depth_histogram() == {0: 1, 1: 2}
+
+    def test_average_depth(self):
+        report = analyse_navigation(
+            ["a", "b"], [("a", "b")], root="a"
+        )
+        assert report.average_depth == 0.5
+
+    def test_missing_root(self):
+        report = analyse_navigation(["a"], [], root="nope")
+        assert report.unreachable == ["a"]
+
+    def test_empty_site(self):
+        report = analyse_navigation([], [], root=None)
+        assert report.max_depth == 0
+        assert report.summary_lines()
+
+    def test_edges_outside_page_set_ignored(self):
+        report = analyse_navigation(
+            ["a"], [("a", "http://elsewhere/x")], root="a"
+        )
+        assert report.depths == {"a": 0}
+
+    def test_summary_lines_mention_everything(self):
+        report = analyse_navigation(
+            ["a", "b", "island"], [("a", "b")], root="a"
+        )
+        text = "\n".join(report.summary_lines())
+        assert "island" in text and "depth" in text
+
+
+class TestSiteNavigation:
+    @pytest.fixture
+    def site_dir(self, tmp_path):
+        (tmp_path / "index.html").write_text(
+            make_document('<p><a href="a.html">page a</a></p>')
+        )
+        (tmp_path / "a.html").write_text(
+            make_document('<p><a href="b.html">page b</a></p>')
+        )
+        (tmp_path / "b.html").write_text(make_document("<p>the end</p>"))
+        (tmp_path / "island.html").write_text(make_document("<p>alone</p>"))
+        return tmp_path
+
+    def test_navigation_from_report(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        navigation = report.navigation()
+        assert navigation.root == "index.html"
+        assert navigation.depths["b.html"] == 2
+        assert navigation.unreachable == ["island.html"]
+        assert "b.html" in navigation.dead_ends
+
+    def test_explicit_root(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        navigation = report.navigation(root="a.html")
+        assert navigation.depths["b.html"] == 1
+
+
+class TestFragmentValidation:
+    @pytest.fixture
+    def site_dir(self, tmp_path):
+        (tmp_path / "index.html").write_text(
+            make_document(
+                '<p><a href="target.html#real">good fragment</a>\n'
+                '<a href="target.html#bogus">bad fragment</a>\n'
+                '<a href="#local">local good</a>\n'
+                '<a href="#missing">local bad</a></p>\n'
+                '<p><a name="local">the local anchor</a></p>'
+            )
+        )
+        (tmp_path / "target.html").write_text(
+            make_document(
+                '<p><a name="real">anchor</a> and <span id="other">x</span></p>\n'
+                '<p><a href="index.html">back home</a></p>'
+            )
+        )
+        return tmp_path
+
+    def test_fragments(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        bad = [
+            d for d in report.page_diagnostics["index.html"]
+            if d.message_id == "bad-fragment"
+        ]
+        fragments = sorted(d.arguments["fragment"] for d in bad)
+        assert fragments == ["bogus", "missing"]
+
+    def test_id_counts_as_anchor(self, site_dir, tmp_path):
+        (site_dir / "index.html").write_text(
+            make_document('<p><a href="target.html#other">by id</a></p>')
+        )
+        report = SiteChecker().check_directory(site_dir)
+        assert report.count("bad-fragment") == 0
+
+    def test_fragment_check_configurable(self, site_dir):
+        from repro.config.options import Options
+
+        options = Options.with_defaults()
+        options.disable("bad-fragment")
+        report = SiteChecker(options=options).check_directory(site_dir)
+        assert report.count("bad-fragment") == 0
+
+    def test_missing_target_not_double_reported(self, tmp_path):
+        (tmp_path / "index.html").write_text(
+            make_document('<p><a href="gone.html#x">dangling</a></p>')
+        )
+        report = SiteChecker().check_directory(tmp_path)
+        assert report.count("bad-link") == 1
+        assert report.count("bad-fragment") == 0

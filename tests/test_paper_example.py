@@ -1,0 +1,60 @@
+"""Experiment E1 as a test: the section 4.2 example, message for message.
+
+The paper shows exactly seven messages for test.html.  This test pins the
+reproduction to that output: same message set, same lines, same key
+wording, and nothing extra.
+"""
+
+from __future__ import annotations
+
+from repro import Options, ShortReporter, Weblint
+
+
+def test_paper_example_exact(paper_example):
+    weblint = Weblint(reporter=ShortReporter())
+    diagnostics = weblint.check_string(paper_example, filename="test.html")
+
+    assert [(d.line, d.message_id) for d in diagnostics] == [
+        (1, "require-doctype"),
+        (4, "unclosed-element"),
+        (5, "attribute-format"),
+        (5, "quote-attribute-value"),
+        (6, "heading-mismatch"),
+        (7, "odd-quotes"),
+        (7, "overlapped-element"),
+    ]
+
+
+def test_paper_example_wording(paper_example):
+    weblint = Weblint(reporter=ShortReporter())
+    report = weblint.report(weblint.check_string(paper_example, "test.html"))
+
+    for fragment in (
+        "line 1: first element was not DOCTYPE specification",
+        "line 4: no closing </TITLE> seen for <TITLE> on line 3",
+        "illegal value for BGCOLOR attribute of BODY (fffff)",
+        'should be quoted (i.e. TEXT="#00ff00")',
+        "line 6: malformed heading - open tag is <H1>, but closing is </H2>",
+        'line 7: odd number of quotes in element <A HREF="a.html',
+        "line 7: </B> on line 7 seems to overlap <A>, opened on line 7",
+    ):
+        assert fragment in report, fragment
+
+
+def test_paper_example_lint_format(paper_example):
+    """The default (non -s) format: 'test.html(1): blah blah blah'."""
+    weblint = Weblint()
+    report = weblint.report(weblint.check_string(paper_example, "test.html"))
+    assert report.splitlines()[0].startswith("test.html(1): ")
+
+
+def test_paper_example_message_count_is_seven(paper_example):
+    assert len(Weblint().check_string(paper_example)) == 7
+
+
+def test_pedantic_finds_more(paper_example):
+    options = Options.with_defaults()
+    options.enable("all")
+    options.disable("upper-case")  # tags in the example ARE upper case
+    pedantic = Weblint(options=options)
+    assert len(pedantic.check_string(paper_example)) > 7

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for system-wide invariants.
+
+These pin the robustness claims: the ad-hoc tokenizer and the checker
+never crash on arbitrary input (weblint's whole job is surviving broken
+HTML), positions stay within the document, the generator's output is
+always clean, and the fixer's output is always *cleaner*.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Options, Weblint
+from repro.baselines.htmlchek import HtmlchekChecker
+from repro.baselines.strict import StrictValidator
+from repro.baselines.tidylike import TidyLikeFixer
+from repro.html.tokenizer import tokenize
+from repro.workload import ErrorSeeder, PageGenerator
+
+# -- strategies -------------------------------------------------------------------
+
+# Arbitrary text with markup metacharacters well represented.
+markup_soup = st.text(
+    alphabet=st.sampled_from(
+        list("<>\"'=/&;!- \n\tabcdeHIMGPRS#%123")
+    ),
+    max_size=300,
+)
+
+# Fragments assembled from plausible tag pieces -- nastier than plain text
+# because structure is almost right.
+tag_pieces = st.lists(
+    st.sampled_from(
+        [
+            "<p>", "</p>", "<b>", "</b>", "<a href=\"x\">", "</a>",
+            "<img src=x alt='y'>", "text ", "<h1>", "</h2>", "<!-- c -->",
+            "<!DOCTYPE html>", "&copy;", "&zorp;", "<table>", "</table>",
+            "<td>", "\n", '"', "'", "<", ">", "<script>", "</script>",
+            "<title>", "</head>", "<foo bar=", "<>",
+        ]
+    ),
+    max_size=40,
+).map("".join)
+
+fuzz_settings = settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+class TestTokenizerRobustness:
+    @fuzz_settings
+    @given(markup_soup)
+    def test_never_crashes_on_soup(self, source):
+        tokenize(source)
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_never_crashes_on_fragments(self, source):
+        tokenize(source)
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_positions_in_bounds(self, source):
+        lines = source.count("\n") + 1
+        for token in tokenize(source):
+            assert 1 <= token.line <= lines
+            assert token.column >= 1
+
+    @fuzz_settings
+    @given(markup_soup)
+    def test_raw_text_covers_input_text(self, source):
+        # Text tokens never invent characters that were not in the input.
+        for token in tokenize(source):
+            assert token.raw in source or token.raw == ""
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_tokenizer_is_lossless(self, source):
+        """Every input byte lands in exactly one token's ``raw``.
+
+        This is what makes weblint's lexical messages trustworthy: the
+        tokenizer can always point back at the original text.
+        """
+        assert "".join(t.raw for t in tokenize(source)) == source
+
+    @fuzz_settings
+    @given(markup_soup)
+    def test_tokenizer_is_lossless_on_soup(self, source):
+        assert "".join(t.raw for t in tokenize(source)) == source
+
+
+class TestCheckerRobustness:
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_weblint_never_crashes(self, source):
+        Weblint().check_string(source)
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_pedantic_never_crashes(self, source):
+        options = Options.with_defaults()
+        options.enable("all")
+        Weblint(options=options).check_string(source)
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_diagnostic_lines_in_bounds(self, source):
+        lines = source.count("\n") + 1
+        for diagnostic in Weblint().check_string(source):
+            assert 1 <= diagnostic.line <= lines
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_disabled_messages_never_emitted(self, source):
+        options = Options.with_defaults()
+        options.disable("all")
+        options.enable("odd-quotes")
+        for diagnostic in Weblint(options=options).check_string(source):
+            assert diagnostic.message_id == "odd-quotes"
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_deterministic(self, source):
+        first = Weblint().check_string(source)
+        second = Weblint().check_string(source)
+        assert [(d.line, d.message_id) for d in first] == [
+            (d.line, d.message_id) for d in second
+        ]
+
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_baselines_never_crash(self, source):
+        HtmlchekChecker().check_string(source)
+        StrictValidator().check_string(source)
+
+
+class TestGeneratorInvariant:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_any_seed_is_default_clean(self, seed):
+        page = PageGenerator(seed=seed).page()
+        assert Weblint().check_string(page) == []
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_seeded_errors_always_detected_pedantically(self, seed, count):
+        page = PageGenerator(seed=seed).page()
+        seeded = ErrorSeeder(seed=seed).seed_errors(page, count=count)
+        options = Options.with_defaults()
+        options.enable("all")
+        options.disable("upper-case", "lower-case")
+        got = {d.message_id for d in Weblint(options=options).check_string(seeded.source)}
+        # Every injected mistake class shows up at least once.
+        for expected in seeded.expected_messages():
+            assert expected in got
+
+
+class TestFixerInvariant:
+    @fuzz_settings
+    @given(tag_pieces)
+    def test_fixer_never_crashes(self, source):
+        TidyLikeFixer().fix_string(source)
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_fixed_seeded_page_has_fewer_errors(self, seed):
+        page = PageGenerator(seed=seed).page()
+        seeded = ErrorSeeder(seed=seed).seed_errors(page, count=3)
+        weblint = Weblint()
+
+        def errors(src):
+            return sum(
+                1
+                for d in weblint.check_string(src)
+                if d.category.value == "error"
+            )
+
+        fixed = TidyLikeFixer().fix_string(seeded.source)
+        assert errors(fixed.html) <= errors(seeded.source)

@@ -1,0 +1,164 @@
+"""Attribute rule tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Weblint
+from tests.conftest import ids, make_document
+
+
+@pytest.fixture
+def check(weblint):
+    def _check(body, **kwargs):
+        return weblint.check_string(make_document(body, **kwargs))
+    return _check
+
+
+class TestUnknownAttributes:
+    def test_unknown_reported(self, check):
+        diags = check('<p zorp="1">x</p>')
+        msg = next(d for d in diags if d.message_id == "unknown-attribute")
+        assert "ZORP" in msg.text and "<P>" in msg.text
+
+    def test_global_attributes_allowed(self, check):
+        diags = check('<p class="a" id="b" onclick="c()">x</p>')
+        assert "unknown-attribute" not in ids(diags)
+
+    def test_custom_attribute_accepted(self):
+        options = Options.with_defaults()
+        options.add_custom_attribute("p", "zorp")
+        diags = Weblint(options=options).check_string(
+            make_document('<p zorp="1">x</p>')
+        )
+        assert "unknown-attribute" not in ids(diags)
+
+    def test_vendor_attribute_unknown_under_html40(self, check):
+        diags = check('<p><img src="a" alt="b" width="1" height="1" lowsrc="c"></p>')
+        assert "unknown-attribute" in ids(diags)
+
+
+class TestValueFormat:
+    def test_bad_color(self, check):
+        diags = check('<p><font color="fffff">x</font></p>')
+        assert "attribute-format" in ids(diags)
+
+    def test_named_color_ok(self, check):
+        diags = check('<p><font color="navy">x</font></p>')
+        assert "attribute-format" not in ids(diags)
+
+    def test_bad_number(self, check):
+        diags = check(
+            '<table summary="s"><tr><td colspan="two">x</td></tr></table>'
+        )
+        assert "attribute-format" in ids(diags)
+
+    def test_value_quoted_in_message(self, check):
+        diags = check('<p><font color="fffff">x</font></p>')
+        msg = next(d for d in diags if d.message_id == "attribute-format")
+        assert "(fffff)" in msg.text
+
+
+class TestQuoting:
+    def test_unquoted_unsafe_value(self, weblint):
+        source = make_document("<p>x</p>").replace(
+            "<body>", "<body text=#00ff00>"
+        )
+        assert "quote-attribute-value" in ids(weblint.check_string(source))
+
+    def test_unquoted_safe_value_ok(self, check):
+        diags = check('<table border=1 summary="s"><tr><td>x</td></tr></table>')
+        assert "quote-attribute-value" not in ids(diags)
+
+    def test_suggestion_in_message(self, weblint):
+        source = make_document("<p>x</p>").replace(
+            "<body>", "<body text=#00ff00>"
+        )
+        msg = next(
+            d for d in weblint.check_string(source)
+            if d.message_id == "quote-attribute-value"
+        )
+        assert 'TEXT="#00ff00"' in msg.text
+
+    def test_single_quote_delimiter(self, check):
+        diags = check("<p><a href='x.html'>y</a></p>")
+        assert "attribute-delimiter" in ids(diags)
+
+    def test_double_quote_fine(self, check):
+        diags = check('<p><a href="x.html">y</a></p>')
+        assert "attribute-delimiter" not in ids(diags)
+
+
+class TestRepetitionAndIds:
+    def test_repeated_attribute(self, check):
+        diags = check('<p><img src="a" src="b" alt="x" width="1" height="1"></p>')
+        assert "repeated-attribute" in ids(diags)
+
+    def test_repeated_checked_once(self, check):
+        diags = check(
+            '<p><img src="a" src="b" src="c" alt="x" width="1" height="1"></p>'
+        )
+        repeated = [d for d in diags if d.message_id == "repeated-attribute"]
+        assert len(repeated) == 1
+
+    def test_duplicate_id(self, check):
+        diags = check('<p id="x">a</p><p id="x">b</p>')
+        assert "duplicate-id" in ids(diags)
+
+    def test_distinct_ids_fine(self, check):
+        diags = check('<p id="x">a</p><p id="y">b</p>')
+        assert "duplicate-id" not in ids(diags)
+
+    def test_duplicate_id_names_first_line(self, check):
+        diags = check('<p id="x">a</p>\n<p id="x">b</p>')
+        msg = next(d for d in diags if d.message_id == "duplicate-id")
+        assert "already used on line" in msg.text
+
+
+class TestDeprecatedAttributes:
+    def test_off_by_default(self, check):
+        diags = check('<p align="center">x</p>')
+        assert "deprecated-attribute" not in ids(diags)
+
+    def test_on_when_enabled(self):
+        options = Options.with_defaults()
+        options.enable("deprecated-attribute")
+        diags = Weblint(options=options).check_string(
+            make_document('<p align="center">x</p>')
+        )
+        assert "deprecated-attribute" in ids(diags)
+
+
+class TestRequiredAttributes:
+    def test_textarea(self, check):
+        diags = check('<form action="a.cgi"><textarea name="t">x</textarea></form>')
+        required = [d for d in diags if d.message_id == "required-attribute"]
+        assert len(required) == 2  # ROWS and COLS
+
+    def test_form_action(self, check):
+        diags = check("<form><p><input type='submit'></p></form>")
+        assert "required-attribute" in ids(diags)
+
+    def test_img_src(self, check):
+        diags = check('<p><img alt="x" width="1" height="1"></p>')
+        required = [d for d in diags if d.message_id == "required-attribute"]
+        assert required and "SRC" in required[0].text
+
+    def test_img_alt_uses_img_alt_message(self, check):
+        diags = check('<p><img src="x" width="1" height="1"></p>')
+        assert "img-alt" in ids(diags)
+        assert "required-attribute" not in ids(diags)
+
+
+class TestExpectedAttribute:
+    def test_bare_anchor(self, check):
+        diags = check("<p><a>text</a></p>")
+        assert "expected-attribute" in ids(diags)
+
+    def test_name_anchor_ok(self, check):
+        diags = check('<p><a name="here">text</a></p>')
+        assert "expected-attribute" not in ids(diags)
+
+    def test_id_anchor_ok(self, check):
+        diags = check('<p><a id="here">text</a></p>')
+        assert "expected-attribute" not in ids(diags)

@@ -1,0 +1,363 @@
+"""Tests for the anchor, image, heading, comment, text, table, form and
+style rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Weblint
+from repro.core.rules.anchors import normalise_anchor_text
+from tests.conftest import ids, make_document
+
+
+@pytest.fixture
+def check(weblint):
+    def _check(body, **kwargs):
+        return weblint.check_string(make_document(body, **kwargs))
+    return _check
+
+
+@pytest.fixture
+def check_all(weblint_all):
+    def _check(body, **kwargs):
+        return weblint_all.check_string(make_document(body, **kwargs))
+    return _check
+
+
+class TestAnchors:
+    def test_here_anchor_off_by_default(self, check):
+        diags = check('<p>Click <a href="x">here</a>.</p>')
+        assert "here-anchor" not in ids(diags)
+
+    @pytest.mark.parametrize(
+        "text", ["here", "click here", "HERE", " Click  Here! ", "this link"]
+    )
+    def test_here_anchor_detects(self, check_all, text):
+        diags = check_all(f'<p><a href="x">{text}</a></p>')
+        assert "here-anchor" in ids(diags)
+
+    def test_meaningful_text_ok(self, check_all):
+        diags = check_all('<p><a href="x">the 1998 annual report</a></p>')
+        assert "here-anchor" not in ids(diags)
+
+    def test_custom_here_words(self):
+        options = Options.with_defaults()
+        options.enable("here-anchor")
+        options.extra_here_words.add("start now")
+        diags = Weblint(options=options).check_string(
+            make_document('<p><a href="x">Start Now</a></p>')
+        )
+        assert "here-anchor" in ids(diags)
+
+    def test_nested_markup_text_still_seen(self, check_all):
+        # <a><b>here</b></a>: the anchor text is still "here".
+        diags = check_all('<p><a href="x"><b>here</b></a></p>')
+        assert "here-anchor" in ids(diags)
+
+    def test_mailto_hidden_address(self, check):
+        diags = check('<p><a href="mailto:a@b.com">mail me</a></p>')
+        assert "mailto-link" in ids(diags)
+
+    def test_mailto_visible_address(self, check):
+        diags = check('<p><a href="mailto:a@b.com">a@b.com</a></p>')
+        assert "mailto-link" not in ids(diags)
+
+    def test_heading_in_anchor(self, check):
+        diags = check('<a href="x"><h2>section</h2></a>')
+        assert "heading-in-anchor" in ids(diags)
+
+    def test_anchor_in_heading_fine(self, check):
+        diags = check('<h2><a href="x">section</a></h2>')
+        assert "heading-in-anchor" not in ids(diags)
+
+    def test_container_whitespace(self, check_all):
+        diags = check_all('<p><a href="x"> padded </a></p>')
+        ws = [d for d in diags if d.message_id == "container-whitespace"]
+        assert len(ws) == 2  # leading and trailing
+
+    def test_normalise_anchor_text(self):
+        assert normalise_anchor_text("  Click   Here!  ") == "click here"
+        assert normalise_anchor_text("here.") == "here"
+
+
+class TestImages:
+    def test_alt_and_size_independent(self, check):
+        diags = check('<p><img src="x.gif"></p>')
+        assert {"img-alt", "img-size"} <= ids(diags)
+
+    def test_full_img_clean(self, check):
+        diags = check('<p><img src="x.gif" alt="pic" width="1" height="2"></p>')
+        assert not ids(diags) & {"img-alt", "img-size"}
+
+    def test_width_only_still_flagged(self, check):
+        diags = check('<p><img src="x.gif" alt="p" width="1"></p>')
+        assert "img-size" in ids(diags)
+
+    def test_input_image_needs_alt(self, check):
+        diags = check(
+            '<form action="a"><p><input type="image" src="b.gif"></p></form>'
+        )
+        assert "img-alt" in ids(diags)
+
+    def test_text_input_no_alt_needed(self, check):
+        diags = check(
+            '<form action="a"><p><label>x<input type="text" name="n"></label></p></form>'
+        )
+        assert "img-alt" not in ids(diags)
+
+
+class TestHeadings:
+    def test_skip_down_flagged(self, check):
+        diags = check("<h1>a</h1><p>x</p><h3>b</h3>")
+        assert "heading-order" in ids(diags)
+
+    def test_step_down_fine(self, check):
+        diags = check("<h1>a</h1><h2>b</h2><h3>c</h3>")
+        assert "heading-order" not in ids(diags)
+
+    def test_jump_up_fine(self, check):
+        diags = check("<h1>a</h1><h2>b</h2><h3>c</h3><h1>d</h1>")
+        assert "heading-order" not in ids(diags)
+
+    def test_message_names_levels(self, check):
+        diags = check("<h1>a</h1><h4>b</h4>")
+        msg = next(d for d in diags if d.message_id == "heading-order")
+        assert "H4" in msg.text.upper() and "H1" in msg.text.upper()
+
+
+class TestComments:
+    def test_markup_in_comment(self, check):
+        assert "markup-in-comment" in ids(check("<p>x</p><!-- <b>y</b> -->"))
+
+    def test_plain_comment_fine(self, check):
+        assert "markup-in-comment" not in ids(check("<p>x</p><!-- note -->"))
+
+    def test_nested_comment(self, check):
+        assert "nested-comment" in ids(check("<p>x</p><!-- a <!-- b -->"))
+
+    def test_unclosed_comment(self, check):
+        diags = check("<p>x</p><!-- runs forever")
+        assert "unclosed-comment" in ids(diags)
+
+    def test_unclosed_comment_no_cascade(self, check):
+        diags = check("<p>x</p><!-- <b>hidden</b> never closed")
+        assert "markup-in-comment" not in ids(diags)
+
+
+class TestText:
+    def test_bare_gt(self, check):
+        assert "literal-metacharacter" in ids(check("<p>5 > 3</p>"))
+
+    def test_bare_lt(self, check):
+        assert "literal-metacharacter" in ids(check("<p>5 <3</p>"))
+
+    def test_escaped_fine(self, check):
+        diags = check("<p>5 &gt; 3 &lt; 7</p>")
+        assert "literal-metacharacter" not in ids(diags)
+
+    def test_gt_in_script_fine(self, check):
+        diags = check('<script type="text/javascript">if (a > b) x();</script>')
+        assert "literal-metacharacter" not in ids(diags)
+
+    def test_unknown_entity(self, check):
+        assert "unknown-entity" in ids(check("<p>&zorp;</p>"))
+
+    def test_entity_known_per_spec(self):
+        options = Options.with_defaults()
+        options.spec_name = "html32"
+        diags = Weblint(options=options).check_string(
+            make_document("<p>&euro;</p>")
+        )
+        assert "unknown-entity" in ids(diags)
+
+    def test_numeric_entity_fine(self, check):
+        assert "unknown-entity" not in ids(check("<p>&#169;</p>"))
+
+    def test_unterminated_entity_pedantic(self, check_all):
+        assert "unterminated-entity" in ids(check_all("<p>&copy 1998</p>"))
+
+    def test_one_metachar_message_per_line(self, check):
+        diags = check("<p>a > b > c</p>")
+        metas = [d for d in diags if d.message_id == "literal-metacharacter"]
+        assert len(metas) == 1
+
+
+class TestTablesAndForms:
+    def test_table_summary_off_by_default(self, check):
+        diags = check("<table border=\"1\"><tr><td>x</td></tr></table>")
+        assert "table-summary" not in ids(diags)
+
+    def test_table_summary_enabled(self, check_all):
+        diags = check_all('<table border="1"><tr><td>x</td></tr></table>')
+        assert "table-summary" in ids(diags)
+
+    def test_table_with_summary_fine(self, check_all):
+        diags = check_all(
+            '<table border="1" summary="data"><tr><td>x</td></tr></table>'
+        )
+        assert "table-summary" not in ids(diags)
+
+    def test_form_label_enabled(self, check_all):
+        diags = check_all(
+            '<form action="a"><p><input type="text" name="n"></p></form>'
+        )
+        assert "form-label" in ids(diags)
+
+    def test_label_wrapped_control_fine(self, check_all):
+        diags = check_all(
+            '<form action="a"><p><label>Name '
+            '<input type="text" name="n"></label></p></form>'
+        )
+        assert "form-label" not in ids(diags)
+
+    def test_hidden_input_exempt(self, check_all):
+        diags = check_all(
+            '<form action="a"><p><input type="hidden" name="n" value="v">'
+            "<label>x<input type='text' name='m'></label></p></form>"
+        )
+        labels = [d for d in diags if d.message_id == "form-label"]
+        assert not labels
+
+
+class TestStyle:
+    def test_physical_font_when_enabled(self, check_all):
+        diags = check_all("<p><b>x</b></p>")
+        msg = next(d for d in diags if d.message_id == "physical-font")
+        assert "STRONG" in msg.text
+
+    def test_logical_markup_never_flagged(self, check_all):
+        diags = check_all("<p><strong>x</strong></p>")
+        assert "physical-font" not in ids(diags)
+
+    def test_deprecated_element_default_on(self, check):
+        diags = check("<p><font size=\"2\">x</font></p>")
+        assert "deprecated-element" in ids(diags)
+
+    def test_deprecated_replacement_named(self, check):
+        diags = check("<listing>x</listing>")
+        msg = next(d for d in diags if d.message_id == "deprecated-element")
+        assert "PRE" in msg.text
+
+    def test_case_style_lower(self):
+        options = Options.with_defaults()
+        options.enable("lower-case")
+        diags = Weblint(options=options).check_string(
+            make_document("<P>x</P>")
+        )
+        lower = [d for d in diags if d.message_id == "lower-case"]
+        assert len(lower) == 2  # both the start and end tag
+
+    def test_case_style_upper(self):
+        options = Options.with_defaults()
+        options.enable("upper-case")
+        diags = Weblint(options=options).check_string(
+            make_document("<p>x</p>")
+        )
+        assert "upper-case" in ids(diags)
+
+    def test_body_colors_partial(self):
+        options = Options.with_defaults()
+        options.enable("body-colors")
+        source = make_document("<p>x</p>").replace(
+            "<body>", '<body bgcolor="#ffffff" text="#000000">'
+        )
+        diags = Weblint(options=options).check_string(source)
+        msg = next(d for d in diags if d.message_id == "body-colors")
+        assert "LINK" in msg.text and "BGCOLOR" in msg.text
+
+    def test_body_colors_complete_fine(self):
+        options = Options.with_defaults()
+        options.enable("body-colors")
+        source = make_document("<p>x</p>").replace(
+            "<body>",
+            '<body bgcolor="#ffffff" text="#000000" link="#0000ff" '
+            'vlink="#880088" alink="#ff0000">',
+        )
+        diags = Weblint(options=options).check_string(source)
+        assert "body-colors" not in ids(diags)
+
+
+class TestDocumentRule:
+    def test_require_doctype(self, weblint):
+        diags = weblint.check_string("<html><head><title>t</title></head>"
+                                     "<body><p>x</p></body></html>")
+        assert "require-doctype" in ids(diags)
+
+    def test_doctype_present_fine(self, weblint):
+        assert "require-doctype" not in ids(
+            weblint.check_string(make_document("<p>x</p>"))
+        )
+
+    def test_html_outer_missing_start(self, weblint):
+        source = (
+            '<!DOCTYPE HTML PUBLIC "x//EN">\n<head><title>t</title></head>'
+            "<body><p>x</p></body>"
+        )
+        assert "html-outer" in ids(weblint.check_string(source))
+
+    def test_html_outer_missing_end(self, weblint):
+        source = (
+            '<!DOCTYPE HTML PUBLIC "x//EN">\n<html><head><title>t</title>'
+            "</head><body><p>x</p></body>"
+        )
+        assert "html-outer" in ids(weblint.check_string(source))
+
+    def test_require_title(self, weblint):
+        source = (
+            '<!DOCTYPE HTML PUBLIC "x//EN">\n<html><head></head>'
+            "<body><p>x</p></body></html>"
+        )
+        assert "require-title" in ids(weblint.check_string(source))
+
+    def test_title_length(self, weblint):
+        diags = weblint.check_string(
+            make_document("<p>x</p>", title="t" * 100)
+        )
+        msg = next(d for d in diags if d.message_id == "title-length")
+        assert "100" in msg.text
+
+    def test_title_length_configurable(self):
+        options = Options.with_defaults()
+        options.max_title_length = 200
+        diags = Weblint(options=options).check_string(
+            make_document("<p>x</p>", title="t" * 100)
+        )
+        assert "title-length" not in ids(diags)
+
+    def test_meta_description_pedantic(self, check_all, weblint_all):
+        source = make_document("<p>x</p>")
+        assert "meta-description" in ids(weblint_all.check_string(source))
+
+    def test_meta_description_satisfied(self, weblint_all):
+        source = make_document(
+            "<p>x</p>",
+            head_extra='<meta name="description" content="about">\n',
+        )
+        assert "meta-description" not in ids(weblint_all.check_string(source))
+
+    def test_link_rev_made_satisfied(self, weblint_all):
+        source = make_document(
+            "<p>x</p>",
+            head_extra='<link rev="made" href="mailto:a@b.c">\n',
+        )
+        assert "link-rev-made" not in ids(weblint_all.check_string(source))
+
+    def test_frameset_without_noframes(self, weblint):
+        source = (
+            '<!DOCTYPE HTML PUBLIC "x//EN">\n<html><head><title>t</title>'
+            '</head><frameset rows="50%,50%"><frame src="a.html">'
+            "<frame src=\"b.html\"></frameset></html>"
+        )
+        assert "frame-noframes" in ids(weblint.check_string(source))
+
+    def test_frameset_with_noframes_fine(self, weblint):
+        source = (
+            '<!DOCTYPE HTML PUBLIC "x//EN">\n<html><head><title>t</title>'
+            '</head><frameset rows="50%,50%"><frame src="a.html">'
+            "<noframes><body><p>no frames here</p></body></noframes>"
+            "</frameset></html>"
+        )
+        assert "frame-noframes" not in ids(weblint.check_string(source))
+
+    def test_empty_document_no_messages(self, weblint):
+        assert weblint.check_string("") == []

@@ -1,0 +1,47 @@
+"""Run the curated sample corpus -- one test per sample (Weblint::Test)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.harness import check_sample, run_samples
+from repro.testing.samples import SAMPLES, samples_by_message
+
+
+@pytest.mark.parametrize(
+    "sample", SAMPLES, ids=[sample.name for sample in SAMPLES]
+)
+def test_sample(sample):
+    failure = check_sample(sample)
+    assert failure is None, str(failure)
+
+
+def test_corpus_has_no_duplicate_names():
+    names = [sample.name for sample in SAMPLES]
+    assert len(names) == len(set(names))
+
+
+def test_run_samples_reports_all():
+    assert run_samples() == []
+
+
+def test_samples_by_message():
+    found = samples_by_message("unclosed-element")
+    assert any(sample.name == "missing-a-close" for sample in found)
+
+
+def test_corpus_covers_every_paper_example():
+    """Every check the paper names in section 4.3 has a sample."""
+    covered = {message_id for sample in SAMPLES for message_id in sample.expect}
+    for required in (
+        "unclosed-element",       # missing close tags for containers
+        "unknown-element",        # mis-typed element names
+        "required-attribute",     # ROWS and COLS for TEXTAREA
+        "attribute-delimiter",    # single quotes
+        "img-size",               # IMG WIDTH/HEIGHT
+        "markup-in-comment",      # commented-out markup
+        "deprecated-element",     # LISTING vs PRE
+        "here-anchor",            # content-free anchor text
+        "physical-font",          # physical vs logical markup
+    ):
+        assert required in covered, required

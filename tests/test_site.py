@@ -1,0 +1,207 @@
+"""Tests for link extraction, walking, orphans and the -R site checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.options import Options
+from repro.site.links import Link, extract_anchor_names, extract_links
+from repro.site.orphans import build_incoming_counts, find_orphans
+from repro.site.sitecheck import SiteChecker
+from repro.site.walker import find_html_files, has_index_file, iter_directories
+from repro.workload import PageGenerator
+from tests.conftest import make_document
+
+
+class TestExtractLinks:
+    def test_anchor_href(self):
+        links = extract_links('<a href="x.html">y</a>')
+        assert links == [Link(url="x.html", line=1, element="a", kind="anchor")]
+
+    def test_resource_links(self):
+        links = extract_links(
+            '<img src="i.gif" alt="a">\n<link href="s.css" rel="x">\n'
+            '<script src="j.js"></script>'
+        )
+        assert [l.kind for l in links] == ["resource"] * 3
+        assert [l.line for l in links] == [1, 2, 3]
+
+    def test_frame_links(self):
+        links = extract_links('<frame src="menu.html">')
+        assert links[0].kind == "anchor"
+
+    def test_empty_href_ignored(self):
+        assert extract_links('<a href="">x</a>') == []
+
+    def test_anchor_without_href_ignored(self):
+        assert extract_links('<a name="here">x</a>') == []
+
+    def test_checkable(self):
+        checkable = {
+            link.url: link.checkable
+            for link in extract_links(
+                '<a href="x.html">a</a>'
+                '<a href="mailto:a@b">b</a>'
+                '<a href="#top">c</a>'
+                '<a href="javascript:void(0)">d</a>'
+                '<a href="http://h/x">e</a>'
+            )
+        }
+        assert checkable == {
+            "x.html": True,
+            "mailto:a@b": False,
+            "#top": False,
+            "javascript:void(0)": False,
+            "http://h/x": True,
+        }
+
+    def test_links_survive_mangled_html(self):
+        links = extract_links('<b><a href="x.html>text</b>')
+        assert links[0].url == "x.html"
+
+    def test_anchor_names(self):
+        names = extract_anchor_names(
+            '<a name="top">x</a><p id="sec1">y</p>'
+        )
+        assert names == {"top", "sec1"}
+
+
+class TestWalker:
+    def test_find_html_files(self, tmp_path):
+        (tmp_path / "a.html").write_text("x")
+        (tmp_path / "b.txt").write_text("x")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "c.HTM").write_text("x")
+        files = find_html_files(tmp_path)
+        assert [f.name for f in files] == ["a.html", "c.HTM"]
+
+    def test_single_file(self, tmp_path):
+        page = tmp_path / "a.html"
+        page.write_text("x")
+        assert find_html_files(page) == [page]
+
+    def test_iter_directories(self, tmp_path):
+        (tmp_path / "a" / "b").mkdir(parents=True)
+        dirs = list(iter_directories(tmp_path))
+        assert dirs[0] == tmp_path and len(dirs) == 3
+
+    def test_has_index_file(self, tmp_path):
+        assert not has_index_file(tmp_path, ("index.html",))
+        (tmp_path / "index.html").write_text("x")
+        assert has_index_file(tmp_path, ("index.html",))
+
+
+class TestOrphans:
+    def test_no_incoming_is_orphan(self):
+        orphans = find_orphans(["a", "b"], {"a": 1})
+        assert orphans == ["b"]
+
+    def test_roots_never_orphans(self):
+        assert find_orphans(["index"], {}, roots=["index"]) == []
+
+    def test_incoming_counts_ignore_self_links(self):
+        counts = build_incoming_counts([("a", "a"), ("a", "b")])
+        assert counts == {"b": 1}
+
+
+@pytest.fixture
+def site_dir(tmp_path):
+    """A site with every -R problem: orphan, bad link, missing index."""
+    generator = PageGenerator(seed=3)
+    pages = generator.site(3)
+    for name, body in pages.items():
+        (tmp_path / name).write_text(body)
+    # images referenced by generated pages actually exist
+    (tmp_path / "images").mkdir()
+    for index in range(4):
+        (tmp_path / "images" / f"figure{index}.gif").write_text("GIF89a")
+    # an orphan page nothing links to
+    (tmp_path / "orphan.html").write_text(make_document("<p>alone</p>"))
+    # a page with a broken relative link
+    (tmp_path / "broken.html").write_text(
+        make_document('<p><a href="nonexistent.html">gone</a></p>')
+    )
+    # link broken.html from index so only orphan.html is orphaned
+    index_page = (tmp_path / "index.html").read_text()
+    index_page = index_page.replace(
+        "</ul>", '<li><a href="broken.html">broken page</a></li>\n</ul>'
+    )
+    (tmp_path / "index.html").write_text(index_page)
+    # a subdirectory with pages but no index file
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "page.html").write_text(make_document("<p>sub</p>"))
+    return tmp_path
+
+
+class TestSiteChecker:
+    def test_all_pages_found(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        assert "index.html" in report.pages
+        assert "sub/page.html" in report.pages
+
+    def test_orphan_detected(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        orphan_messages = [
+            d for d in report.all_diagnostics()
+            if d.message_id == "orphan-page"
+        ]
+        orphaned = {d.filename for d in orphan_messages}
+        assert "orphan.html" in orphaned
+        assert "index.html" not in orphaned
+        assert "broken.html" not in orphaned
+
+    def test_bad_link_detected(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        bad = [
+            d for d in report.page_diagnostics["broken.html"]
+            if d.message_id == "bad-link"
+        ]
+        assert bad and "nonexistent.html" in bad[0].text
+
+    def test_good_links_not_reported(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        bad = [
+            d for d in report.page_diagnostics["index.html"]
+            if d.message_id == "bad-link"
+        ]
+        assert bad == []
+
+    def test_missing_index_detected(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        missing = [
+            d for d in report.site_diagnostics
+            if d.message_id == "directory-index"
+        ]
+        assert any("sub" in d.text for d in missing)
+        assert not any(d.text.startswith("directory . ") for d in missing)
+
+    def test_site_checks_configurable(self, site_dir):
+        options = Options.with_defaults()
+        options.disable("orphan-page", "bad-link", "directory-index")
+        report = SiteChecker(options=options).check_directory(site_dir)
+        assert report.count("orphan-page") == 0
+        assert report.count("bad-link") == 0
+        assert report.count("directory-index") == 0
+
+    def test_follow_links_off(self, site_dir):
+        options = Options.with_defaults()
+        options.follow_links = False
+        report = SiteChecker(options=options).check_directory(site_dir)
+        assert report.count("bad-link") == 0
+
+    def test_per_page_lint_included(self, site_dir):
+        (site_dir / "messy.html").write_text("<h1>x</h2>")
+        report = SiteChecker().check_directory(site_dir)
+        page_ids = {
+            d.message_id for d in report.page_diagnostics["messy.html"]
+        }
+        assert "heading-mismatch" in page_ids
+
+    def test_pages_with_problems(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        assert "broken.html" in report.pages_with_problems()
+
+    def test_link_graph_recorded(self, site_dir):
+        report = SiteChecker().check_directory(site_dir)
+        assert ("index.html", "broken.html") in report.link_graph

@@ -1,0 +1,69 @@
+"""Tests for the Spot-style site report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Weblint
+from repro.site.report import render_html_report, render_text_report
+from repro.site.sitecheck import SiteChecker
+from tests.conftest import make_document
+
+
+@pytest.fixture
+def report(tmp_path):
+    (tmp_path / "index.html").write_text(
+        make_document('<p><a href="a.html">page a</a></p>')
+    )
+    (tmp_path / "a.html").write_text(
+        make_document('<p><b>unclosed and <a href="gone.html">broken</a></p>')
+    )
+    (tmp_path / "orphan.html").write_text(make_document("<p>alone</p>"))
+    return SiteChecker().check_directory(tmp_path)
+
+
+class TestTextReport:
+    def test_counts_present(self, report):
+        text = render_text_report(report)
+        assert "pages" in text
+        assert "bad-link" in text
+        assert "orphan-page" in text
+
+    def test_noisy_pages_ranked(self, report):
+        text = render_text_report(report)
+        assert "a.html" in text.split("pages with the most messages")[1]
+
+    def test_navigation_included(self, report):
+        text = render_text_report(report)
+        assert "navigation analysis" in text
+        assert "orphan.html" in text  # unreachable
+
+    def test_empty_site(self, tmp_path):
+        empty = SiteChecker().check_directory(tmp_path)
+        text = render_text_report(empty)
+        assert "total messages" in text
+
+
+class TestHTMLReport:
+    def test_structure(self, report):
+        html = render_html_report(report)
+        assert "<h2>Summary</h2>" in html
+        assert "Problems by page" in html
+        assert "a.html" in html
+        assert "Navigation" in html
+
+    def test_escaping(self, tmp_path):
+        (tmp_path / "index.html").write_text(
+            make_document("<p>5 > 3 is <bogus&tag> text</p>")
+        )
+        html = render_html_report(SiteChecker().check_directory(tmp_path))
+        assert "<bogus" not in html.split("Problems by page")[1]
+
+    def test_report_page_lints_clean(self, report):
+        html = render_html_report(report)
+        assert Weblint().check_string(html) == []
+
+    def test_clean_site_has_no_problem_section(self, tmp_path):
+        (tmp_path / "index.html").write_text(make_document("<p>x</p>"))
+        html = render_html_report(SiteChecker().check_directory(tmp_path))
+        assert "Problems by page" not in html

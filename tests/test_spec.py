@@ -1,0 +1,189 @@
+"""Unit tests for the HTMLSpec tables and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html.spec import (
+    AttributeDef,
+    ElementDef,
+    HTMLSpec,
+    _edit_distance,
+    available_specs,
+    get_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def html40():
+    return get_spec("html40")
+
+
+class TestRegistry:
+    def test_builtin_specs_available(self):
+        names = available_specs()
+        for expected in ("html40", "html32", "netscape", "microsoft",
+                         "html40-strict"):
+            assert expected in names
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("HTML40").name == "html40"
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError, match="unknown HTML spec"):
+            get_spec("html99")
+
+    def test_specs_cached(self):
+        assert get_spec("html40") is get_spec("html40")
+
+
+class TestElementQueries:
+    def test_known_element(self, html40):
+        assert html40.is_known("p")
+        assert html40.is_known("P")
+
+    def test_unknown_element(self, html40):
+        assert not html40.is_known("zorp")
+
+    def test_empty_elements(self, html40):
+        for name in ("br", "img", "hr", "input", "meta", "link"):
+            assert html40.is_empty(name), name
+            assert not html40.end_tag_legal(name), name
+
+    def test_strict_containers(self, html40):
+        for name in ("a", "title", "em", "table", "textarea"):
+            assert html40.end_tag_required(name), name
+
+    def test_optional_end(self, html40):
+        for name in ("p", "li", "td", "tr", "option"):
+            elem = html40.element(name)
+            assert elem.optional_end, name
+            assert not html40.end_tag_required(name)
+            assert html40.end_tag_legal(name)
+
+    def test_once_per_document(self, html40):
+        for name in ("html", "head", "body", "title"):
+            assert html40.element(name).once_per_document, name
+
+    def test_context_tables(self, html40):
+        assert "tr" in html40.element("td").allowed_in
+        assert html40.element("li").allowed_in >= {"ul", "ol"}
+        assert html40.element("p").allowed_in is None
+
+    def test_excludes(self, html40):
+        assert "a" in html40.element("a").excludes
+        assert "form" in html40.element("form").excludes
+        assert "img" in html40.element("pre").excludes
+
+    def test_implicit_closes(self, html40):
+        assert "li" in html40.element("li").closes
+        assert "p" in html40.element("h1").closes
+        assert {"td", "th"} <= html40.element("tr").closes
+
+    def test_deprecated_elements(self, html40):
+        for name in ("center", "font", "listing", "applet"):
+            assert html40.element(name).deprecated, name
+        assert html40.element("listing").replacement == "pre"
+
+
+class TestAttributeQueries:
+    def test_element_attribute(self, html40):
+        assert html40.attribute_allowed("img", "src")
+        assert html40.attribute_allowed("IMG", "SRC")
+
+    def test_global_attribute_fallback(self, html40):
+        assert html40.attribute_allowed("p", "class")
+        assert html40.attribute_allowed("td", "onclick")
+
+    def test_unknown_attribute(self, html40):
+        assert not html40.attribute_allowed("p", "zorp")
+
+    def test_required_attributes(self, html40):
+        required = set(html40.element("textarea").required_attributes())
+        assert required == {"rows", "cols"}
+        assert "src" in html40.element("img").required_attributes()
+        assert "alt" in html40.element("img").required_attributes()
+
+    def test_color_pattern(self, html40):
+        assert html40.attribute_value_ok("body", "bgcolor", "#ffffff")
+        assert html40.attribute_value_ok("body", "bgcolor", "navy")
+        assert not html40.attribute_value_ok("body", "bgcolor", "fffff")
+        assert not html40.attribute_value_ok("body", "bgcolor", "#ff")
+
+    def test_number_pattern(self, html40):
+        assert html40.attribute_value_ok("td", "colspan", "3")
+        assert not html40.attribute_value_ok("td", "colspan", "three")
+
+    def test_length_pattern(self, html40):
+        assert html40.attribute_value_ok("img", "width", "50")
+        assert html40.attribute_value_ok("img", "width", "50%")
+        assert not html40.attribute_value_ok("img", "width", "wide")
+
+    def test_enumerated_pattern_case_insensitive(self, html40):
+        assert html40.attribute_value_ok("form", "method", "POST")
+        assert not html40.attribute_value_ok("form", "method", "push")
+
+    def test_cdata_accepts_anything(self, html40):
+        assert html40.attribute_value_ok("a", "href", "any:thing/at all?x=1")
+
+    def test_unknown_attribute_value_ok(self, html40):
+        # Unknown attributes are someone else's message.
+        assert html40.attribute_value_ok("p", "zorp", "!!!")
+
+
+class TestSuggestions:
+    @pytest.mark.parametrize(
+        "typo,expected",
+        [
+            ("blockqoute", "blockquote"),
+            ("tabel", "table"),
+            ("centre", "center"),
+            ("stong", "strong"),
+        ],
+    )
+    def test_typo_suggestions(self, html40, typo, expected):
+        assert html40.suggest_element(typo) == expected
+
+    def test_no_suggestion_for_garbage(self, html40):
+        assert html40.suggest_element("qqqqqqqxyz") is None
+
+    def test_exact_match_distance_zero(self):
+        assert _edit_distance("abc", "abc", 3) == 0
+
+    def test_transposition_counts_one(self):
+        assert _edit_distance("albe", "able", 3) == 1
+
+    def test_cutoff_respected(self):
+        assert _edit_distance("aaaa", "zzzz", 2) == 3  # cutoff + 1
+
+
+class TestDoctype:
+    def test_doctype_matches(self, html40):
+        assert html40.doctype_matches(
+            'DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0//EN"'
+        )
+
+    def test_doctype_requires_keyword(self, html40):
+        assert not html40.doctype_matches("DOCTYPE GARBAGE")
+
+
+class TestSpecConstruction:
+    def test_custom_spec(self):
+        spec = HTMLSpec(
+            name="mini",
+            version="mini 1.0",
+            elements={
+                "x": ElementDef(
+                    name="x",
+                    attributes={"n": AttributeDef(name="n", pattern="[0-9]+")},
+                )
+            },
+        )
+        assert spec.is_known("x")
+        assert spec.attribute_value_ok("x", "n", "42")
+        assert not spec.attribute_value_ok("x", "n", "x")
+
+    def test_attribute_def_anchored(self):
+        attr = AttributeDef(name="n", pattern="[0-9]+")
+        assert not attr.value_ok("9 lives")
+        assert attr.value_ok(" 9 ")  # surrounding whitespace stripped

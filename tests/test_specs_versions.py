@@ -1,0 +1,181 @@
+"""Version-difference tests: HTML 3.2, 4.0 strict, Netscape, Microsoft."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html.spec import get_spec
+
+
+@pytest.fixture(scope="module")
+def html32():
+    return get_spec("html32")
+
+
+@pytest.fixture(scope="module")
+def strict():
+    return get_spec("html40-strict")
+
+
+@pytest.fixture(scope="module")
+def netscape():
+    return get_spec("netscape")
+
+
+@pytest.fixture(scope="module")
+def microsoft():
+    return get_spec("microsoft")
+
+
+class TestHTML32:
+    @pytest.mark.parametrize(
+        "element",
+        ["span", "abbr", "button", "iframe", "tbody", "colgroup", "q", "label"],
+    )
+    def test_40_elements_absent(self, html32, element):
+        assert not html32.is_known(element)
+
+    @pytest.mark.parametrize(
+        "element", ["p", "table", "img", "font", "center", "applet"]
+    )
+    def test_core_elements_present(self, html32, element):
+        assert html32.is_known(element)
+
+    def test_no_global_attributes(self, html32):
+        assert not html32.attribute_allowed("p", "class")
+        assert not html32.attribute_allowed("p", "onclick")
+
+    def test_img_alt_not_required(self, html32):
+        assert "alt" not in html32.element("img").required_attributes()
+
+    def test_textarea_dims_still_required(self, html32):
+        assert set(html32.element("textarea").required_attributes()) == {
+            "rows",
+            "cols",
+        }
+
+    def test_center_not_deprecated_in_32(self, html32):
+        assert not html32.element("center").deprecated
+
+    def test_smaller_entity_set(self, html32):
+        assert "euro" not in html32.entities
+        assert "copy" in html32.entities
+
+    def test_tr_directly_in_table(self, html32):
+        assert html32.element("tr").allowed_in == frozenset({"table"})
+
+    def test_input_type_survived_strip(self, html32):
+        assert html32.attribute_allowed("input", "type")
+        assert html32.attribute_allowed("ol", "type")
+
+
+class TestStrict:
+    @pytest.mark.parametrize(
+        "element", ["center", "font", "applet", "iframe", "frameset", "u"]
+    )
+    def test_deprecated_elements_absent(self, strict, element):
+        assert not strict.is_known(element)
+
+    def test_deprecated_attributes_absent(self, strict):
+        assert not strict.attribute_allowed("body", "bgcolor")
+        assert not strict.attribute_allowed("img", "align")
+
+    def test_core_attributes_survive(self, strict):
+        assert strict.attribute_allowed("img", "src")
+        assert strict.attribute_allowed("p", "class")
+
+
+class TestNetscape:
+    @pytest.mark.parametrize(
+        "element", ["blink", "layer", "multicol", "spacer", "embed", "keygen"]
+    )
+    def test_navigator_elements(self, netscape, element):
+        assert netscape.is_known(element)
+
+    def test_superset_of_html40(self, netscape):
+        html40 = get_spec("html40")
+        assert set(html40.elements) <= set(netscape.elements)
+
+    def test_navigator_attributes(self, netscape):
+        assert netscape.attribute_allowed("img", "lowsrc")
+        assert netscape.attribute_allowed("body", "marginwidth")
+
+    def test_blink_maps_to_em(self, netscape):
+        assert netscape.physical_markup["blink"] == "em"
+
+    def test_multicol_requires_cols(self, netscape):
+        assert "cols" in netscape.element("multicol").required_attributes()
+
+
+class TestMicrosoft:
+    @pytest.mark.parametrize(
+        "element", ["marquee", "bgsound", "comment", "xml", "nobr"]
+    )
+    def test_ie_elements(self, microsoft, element):
+        assert microsoft.is_known(element)
+
+    def test_ie_attributes(self, microsoft):
+        assert microsoft.attribute_allowed("table", "bordercolor")
+        assert microsoft.attribute_allowed("body", "leftmargin")
+        assert microsoft.attribute_allowed("img", "dynsrc")
+
+    def test_bgsound_requires_src(self, microsoft):
+        assert "src" in microsoft.element("bgsound").required_attributes()
+
+    def test_marquee_value_patterns(self, microsoft):
+        assert microsoft.attribute_value_ok("marquee", "direction", "left")
+        assert not microsoft.attribute_value_ok("marquee", "direction", "sideways")
+        assert microsoft.attribute_value_ok("marquee", "loop", "infinite")
+
+
+class TestVendorDisjointness:
+    def test_layer_not_in_microsoft(self, microsoft):
+        assert not microsoft.is_known("layer")
+
+    def test_marquee_not_in_netscape(self, netscape):
+        assert not netscape.is_known("marquee")
+
+    def test_nobr_in_both(self, netscape, microsoft):
+        assert netscape.is_known("nobr") and microsoft.is_known("nobr")
+
+
+class TestHTML20:
+    @pytest.fixture(scope="class")
+    def html20(self):
+        return get_spec("html20")
+
+    @pytest.mark.parametrize(
+        "element", ["table", "td", "font", "center", "applet", "style", "map"]
+    )
+    def test_post_20_elements_absent(self, html20, element):
+        assert not html20.is_known(element)
+
+    @pytest.mark.parametrize(
+        "element", ["p", "pre", "img", "form", "isindex", "xmp", "listing"]
+    )
+    def test_20_elements_present(self, html20, element):
+        assert html20.is_known(element)
+
+    def test_xmp_deprecated_not_obsolete(self, html20):
+        elem = html20.element("xmp")
+        assert elem.deprecated and not elem.obsolete
+
+    def test_body_colors_unknown_in_20(self, html20):
+        assert not html20.attribute_allowed("body", "bgcolor")
+
+    def test_kept_attributes(self, html20):
+        assert html20.attribute_allowed("ul", "compact")
+        assert html20.attribute_allowed("img", "align")
+        assert html20.attribute_allowed("input", "type")
+
+    def test_checker_flags_tables_under_20(self):
+        from repro import Options, Weblint
+
+        options = Options.with_defaults()
+        options.spec_name = "html20"
+        diags = Weblint(options=options).check_string(
+            '<!DOCTYPE HTML PUBLIC "x//EN"><html><head><title>t</title>'
+            "</head><body><table><tr><td>x</td></tr></table></body></html>"
+        )
+        unknown = [d for d in diags if d.message_id == "unknown-element"]
+        assert len(unknown) == 3  # table, tr, td

@@ -1,0 +1,325 @@
+"""Unit tests for the ad-hoc tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html.tokenizer import RAW_TEXT_ELEMENTS, Tokenizer, tokenize
+from repro.html.tokens import (
+    Comment,
+    Declaration,
+    EndTag,
+    LexicalIssue,
+    ProcessingInstruction,
+    StartTag,
+    Text,
+    TokenKind,
+    iter_tags,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+    def test_plain_text(self):
+        (token,) = tokenize("hello world")
+        assert isinstance(token, Text)
+        assert token.text == "hello world"
+
+    def test_simple_start_tag(self):
+        (token,) = tokenize("<p>")
+        assert isinstance(token, StartTag)
+        assert token.name == "p"
+        assert token.attributes == []
+
+    def test_simple_end_tag(self):
+        (token,) = tokenize("</p>")
+        assert isinstance(token, EndTag)
+        assert token.name == "p"
+
+    def test_case_preserved(self):
+        (token,) = tokenize("<IMG>")
+        assert token.name == "IMG"
+        assert token.lowered == "img"
+
+    def test_sequence(self):
+        assert kinds("<p>hi</p>") == [
+            TokenKind.START_TAG,
+            TokenKind.TEXT,
+            TokenKind.END_TAG,
+        ]
+
+    def test_raw_preserved(self):
+        (token,) = tokenize('<a href="x">')
+        assert token.raw == '<a href="x">'
+
+    def test_iter_tags_filters_text(self):
+        tags = list(iter_tags(iter(tokenize("<p>hi</p> there <b>x</b>"))))
+        assert [t.kind for t in tags] == [
+            TokenKind.START_TAG,
+            TokenKind.END_TAG,
+            TokenKind.START_TAG,
+            TokenKind.END_TAG,
+        ]
+
+    def test_tag_name_with_digits(self):
+        (token,) = tokenize("<h1>")
+        assert token.name == "h1"
+
+
+class TestLineNumbers:
+    def test_lines_counted(self):
+        tokens = tokenize("<p>\n\n<b>")
+        assert tokens[0].line == 1
+        assert tokens[-1].line == 3
+
+    def test_column_after_text(self):
+        tokens = tokenize("abc<p>")
+        assert tokens[1].column == 4
+
+    def test_multiline_tag_position(self):
+        tokens = tokenize('<img\n src="x"\n alt="y">')
+        assert tokens[0].line == 1
+
+    def test_tag_after_multiline_tag(self):
+        tokens = tokenize('<img\nsrc="x"><p>')
+        assert tokens[1].line == 2
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        (tag,) = tokenize('<a href="x.html">')
+        attr = tag.get("href")
+        assert attr.value == "x.html"
+        assert attr.quote == '"'
+        assert attr.has_value
+
+    def test_single_quoted_flagged(self):
+        (tag,) = tokenize("<a href='x.html'>")
+        assert tag.get("href").quote == "'"
+        assert tag.has_issue(LexicalIssue.SINGLE_QUOTED_VALUE)
+
+    def test_unquoted_flagged(self):
+        (tag,) = tokenize("<body text=#00ff00>")
+        attr = tag.get("text")
+        assert attr.value == "#00ff00"
+        assert attr.quote is None
+        assert tag.has_issue(LexicalIssue.UNQUOTED_VALUE)
+
+    def test_boolean_attribute(self):
+        (tag,) = tokenize("<input checked>")
+        attr = tag.get("checked")
+        assert not attr.has_value
+        assert attr.value == ""
+
+    def test_multiple_attributes(self):
+        (tag,) = tokenize('<img src="a" alt="b" width="1" height="2">')
+        assert tag.attribute_names() == ["src", "alt", "width", "height"]
+
+    def test_attribute_case_insensitive_lookup(self):
+        (tag,) = tokenize('<IMG SRC="a">')
+        assert tag.get("src").value == "a"
+        assert tag.has_attribute("SRC")
+
+    def test_duplicated_attributes(self):
+        (tag,) = tokenize('<img src="a" SRC="b" alt="x">')
+        assert tag.duplicated_attributes() == ["src"]
+
+    def test_whitespace_around_equals(self):
+        (tag,) = tokenize('<a href = "x">')
+        assert tag.get("href").value == "x"
+
+    def test_quoted_value_may_contain_gt(self):
+        (tag,) = tokenize('<img alt="a > b" src="x">')
+        assert tag.get("alt").value == "a > b"
+        assert not tag.has_issue(LexicalIssue.ODD_QUOTES)
+
+    def test_value_with_newline(self):
+        (tag,) = tokenize('<img alt="two\nlines" src="x">')
+        assert tag.get("alt").value == "two\nlines"
+
+    def test_empty_value(self):
+        (tag,) = tokenize('<img alt="" src="x">')
+        attr = tag.get("alt")
+        assert attr.has_value and attr.value == ""
+
+    def test_self_closing(self):
+        (tag,) = tokenize("<br/>")
+        assert tag.self_closing
+
+
+class TestOddQuoteRecovery:
+    """The paper's <A HREF="a.html> example (section 4.2)."""
+
+    def test_flagged(self):
+        tokens = tokenize('<a href="a.html>here</b>')
+        assert tokens[0].has_issue(LexicalIssue.ODD_QUOTES)
+
+    def test_value_recovered_to_gt(self):
+        tokens = tokenize('<a href="a.html>here</b>')
+        assert tokens[0].get("href").value == "a.html"
+
+    def test_following_text_not_swallowed(self):
+        tokens = tokenize('<a href="a.html>here</b>')
+        assert isinstance(tokens[1], Text)
+        assert tokens[1].text == "here"
+        assert isinstance(tokens[2], EndTag)
+
+    def test_recovery_stops_at_lt_when_no_gt(self):
+        tokens = tokenize('<a href="a.html<b>x</b>')
+        assert tokens[0].has_issue(LexicalIssue.ODD_QUOTES)
+        # The <b> tag survives as markup.
+        assert any(
+            isinstance(t, StartTag) and t.lowered == "b" for t in tokens
+        )
+
+    def test_odd_quote_at_eof(self):
+        (tag,) = tokenize('<a href="a.html')
+        assert tag.has_issue(LexicalIssue.ODD_QUOTES)
+
+
+class TestComments:
+    def test_simple_comment(self):
+        (token,) = tokenize("<!-- hello -->")
+        assert isinstance(token, Comment)
+        assert token.text == " hello "
+
+    def test_unterminated_comment(self):
+        (token,) = tokenize("<!-- oops")
+        assert token.has_issue(LexicalIssue.UNTERMINATED_COMMENT)
+
+    def test_nested_comment_flagged(self):
+        (token,) = tokenize("<!-- a <!-- b -->")
+        assert token.has_issue(LexicalIssue.NESTED_COMMENT)
+
+    def test_markup_in_comment_flagged(self):
+        (token,) = tokenize("<!-- <b>x</b> -->")
+        assert token.has_issue(LexicalIssue.MARKUP_IN_COMMENT)
+
+    def test_plain_comment_not_flagged(self):
+        (token,) = tokenize("<!-- just 2 < 3 words -->")
+        assert not token.has_issue(LexicalIssue.MARKUP_IN_COMMENT)
+
+    def test_comment_with_dashes_inside(self):
+        (token,) = tokenize("<!-- a - b -- c -->")
+        assert isinstance(token, Comment)
+
+
+class TestDeclarations:
+    def test_doctype(self):
+        (token,) = tokenize("<!DOCTYPE HTML PUBLIC '-//W3C//DTD HTML 4.0//EN'>")
+        assert isinstance(token, Declaration)
+        assert token.is_doctype
+
+    def test_non_doctype_declaration(self):
+        (token,) = tokenize("<!ENTITY x 'y'>")
+        assert isinstance(token, Declaration)
+        assert not token.is_doctype
+
+    def test_processing_instruction(self):
+        (token,) = tokenize("<?xml version='1.0'>")
+        assert isinstance(token, ProcessingInstruction)
+
+
+class TestRawTextElements:
+    @pytest.mark.parametrize("element", sorted(RAW_TEXT_ELEMENTS - {"plaintext"}))
+    def test_content_not_tokenized(self, element):
+        source = f"<{element}>if (a < b && c > d) x;</{element}>"
+        tokens = tokenize(source)
+        assert isinstance(tokens[0], StartTag)
+        assert isinstance(tokens[1], Text)
+        assert tokens[1].text == "if (a < b && c > d) x;"
+        assert isinstance(tokens[2], EndTag)
+
+    def test_script_with_fake_tags(self):
+        tokens = tokenize("<script>document.write('<p>hi</p>')</script>")
+        assert len([t for t in tokens if isinstance(t, StartTag)]) == 1
+
+    def test_unclosed_script_runs_to_eof(self):
+        tokens = tokenize("<script>var x = 1;")
+        assert tokens[1].text == "var x = 1;"
+
+    def test_close_tag_case_insensitive(self):
+        tokens = tokenize("<SCRIPT>x</ScRiPt>")
+        assert isinstance(tokens[2], EndTag)
+
+
+class TestHeuristics:
+    def test_leading_whitespace_tag(self):
+        tokens = tokenize("< b>bold</b>")
+        assert isinstance(tokens[0], StartTag)
+        assert tokens[0].has_issue(LexicalIssue.WHITESPACE_AFTER_LT)
+
+    def test_bare_lt_is_text(self):
+        tokens = tokenize("a < 3")
+        joined = "".join(t.text for t in tokens if isinstance(t, Text))
+        assert joined == "a < 3"
+        assert any(t.has_issue(LexicalIssue.BARE_LT_IN_TEXT) for t in tokens)
+
+    def test_bare_gt_flagged(self):
+        (token,) = tokenize("5 > 3")
+        assert token.has_issue(LexicalIssue.BARE_GT_IN_TEXT)
+
+    def test_empty_tag(self):
+        tokens = tokenize("a <> b")
+        flagged = [t for t in tokens if t.has_issue(LexicalIssue.EMPTY_TAG)]
+        assert len(flagged) == 1
+
+    def test_unclosed_tag_at_eof(self):
+        (tag,) = tokenize("<img src=x")
+        assert tag.has_issue(LexicalIssue.UNCLOSED_TAG)
+
+    def test_new_tag_inside_tag(self):
+        tokens = tokenize("<img src=x <p>text")
+        assert tokens[0].has_issue(LexicalIssue.UNCLOSED_TAG)
+        assert isinstance(tokens[1], StartTag)
+        assert tokens[1].lowered == "p"
+
+    def test_end_tag_with_attributes_flagged(self):
+        (tag,) = tokenize('</div align="center">')
+        assert tag.has_issue(LexicalIssue.ATTRIBUTES_IN_END_TAG)
+
+    def test_end_tag_without_attributes_not_flagged(self):
+        (tag,) = tokenize("</div>")
+        assert not tag.has_issue(LexicalIssue.ATTRIBUTES_IN_END_TAG)
+
+
+class TestEntitiesInText:
+    def test_known_entity_recorded(self):
+        (token,) = tokenize("&copy; 1998")
+        assert token.entities[0][0] == "copy"
+        assert token.entities[0][3] is True  # known
+        assert token.entities[0][4] is True  # terminated
+
+    def test_unknown_entity_flagged(self):
+        (token,) = tokenize("&zorp;")
+        assert token.has_issue(LexicalIssue.UNKNOWN_ENTITY)
+
+    def test_unterminated_entity_flagged(self):
+        (token,) = tokenize("&copy 1998")
+        assert token.has_issue(LexicalIssue.UNTERMINATED_ENTITY)
+
+    def test_numeric_entity(self):
+        (token,) = tokenize("&#169;")
+        name, _line, _col, known, terminated = token.entities[0]
+        assert name == "#169" and known and terminated
+
+    def test_entity_line_position_multiline(self):
+        (token,) = tokenize("line one\n&zorp; here")
+        assert token.entities[0][1] == 2
+
+
+class TestTokenizerReuse:
+    def test_tokenizer_instance_single_use(self):
+        tok = Tokenizer("<p>x</p>")
+        first = tok.tokenize()
+        assert len(first) == 3
+
+    def test_whitespace_text_is_whitespace(self):
+        tokens = tokenize("<p>  \n  </p>")
+        assert tokens[1].is_whitespace

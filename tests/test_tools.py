@@ -1,0 +1,29 @@
+"""Tests for maintainer tools (documentation generation)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.messages import CATALOG
+from repro.tools.gen_docs import generate
+
+
+def test_generated_docs_cover_every_message():
+    text = generate()
+    for message_id in CATALOG:
+        assert f"### `{message_id}`" in text, message_id
+
+
+def test_generated_docs_state_paper_statistics():
+    text = generate()
+    assert "(the paper's 50)" in text
+    assert "(the paper's 42)" in text
+
+
+def test_committed_docs_up_to_date():
+    """docs/MESSAGES.md must be regenerated when the catalog changes."""
+    committed = Path(__file__).resolve().parents[1] / "docs" / "MESSAGES.md"
+    assert committed.is_file(), "run: python -m repro.tools.gen_docs"
+    assert committed.read_text() == generate(), (
+        "docs/MESSAGES.md is stale; run: python -m repro.tools.gen_docs"
+    )

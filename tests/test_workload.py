@@ -1,0 +1,120 @@
+"""Tests for the page generator, error seeder and corpus builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Weblint
+from repro.site.links import extract_links
+from repro.workload import (
+    ErrorSeeder,
+    GeneratorConfig,
+    PageGenerator,
+    build_seeded_corpus,
+    build_valid_corpus,
+)
+from repro.workload.corpus import build_site
+from repro.workload.seeder import DEFAULT_DETECTABLE, MUTATIONS
+from tests.conftest import ids
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert PageGenerator(seed=42).page() == PageGenerator(seed=42).page()
+
+    def test_different_seeds_differ(self):
+        assert PageGenerator(seed=1).page() != PageGenerator(seed=2).page()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pages_default_clean(self, seed):
+        """The corpus invariant: generated pages lint clean by default."""
+        page = PageGenerator(seed=seed).page()
+        assert Weblint().check_string(page) == []
+
+    def test_config_shapes_output(self):
+        config = GeneratorConfig(paragraphs=1, images=0, tables=0, lists=0)
+        page = PageGenerator(seed=0, config=config).page()
+        assert "<table" not in page and "<img" not in page
+
+    def test_site_structure(self):
+        site = PageGenerator(seed=0).site(5)
+        assert set(site) == {
+            "index.html", "page1.html", "page2.html", "page3.html", "page4.html",
+        }
+
+    def test_site_index_links_everything(self):
+        site = PageGenerator(seed=0).site(4)
+        index_targets = {l.url for l in extract_links(site["index.html"])}
+        for name in ("page1.html", "page2.html", "page3.html"):
+            assert name in index_targets
+
+    def test_site_single_page(self):
+        site = PageGenerator(seed=0).site(1)
+        assert list(site) == ["index.html"]
+
+    def test_site_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            PageGenerator(seed=0).site(0)
+
+
+class TestSeeder:
+    def test_deterministic(self):
+        page = PageGenerator(seed=0).page()
+        a = ErrorSeeder(seed=5).seed_errors(page, count=3)
+        b = ErrorSeeder(seed=5).seed_errors(page, count=3)
+        assert a.source == b.source
+        assert [m.name for m in a.applied] == [m.name for m in b.applied]
+
+    def test_requested_count_applied(self):
+        page = PageGenerator(seed=0).page()
+        seeded = ErrorSeeder(seed=1).seed_errors(page, count=4)
+        assert len(seeded.applied) == 4
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_every_mutation_detected(self, name):
+        """Each mutation provokes its expected message (pedantic config)."""
+        page = PageGenerator(seed=0).page()
+        mutation = MUTATIONS[name]
+        mutated = mutation.apply(page)
+        assert mutated is not None, f"{name} not applicable to base page"
+        options = Options.with_defaults()
+        options.enable("all")
+        options.disable("upper-case", "lower-case")
+        got = ids(Weblint(options=options).check_string(mutated))
+        assert mutation.expected_message in got
+
+    @pytest.mark.parametrize("name", sorted(DEFAULT_DETECTABLE))
+    def test_default_detectable_under_defaults(self, name):
+        page = PageGenerator(seed=0).page()
+        mutated = MUTATIONS[name].apply(page)
+        got = ids(Weblint().check_string(mutated))
+        assert MUTATIONS[name].expected_message in got
+
+    def test_seed_specific_raises_when_inapplicable(self):
+        seeder = ErrorSeeder()
+        with pytest.raises(ValueError, match="not applicable"):
+            seeder.seed_specific("<p>no doctype here</p>", ("drop-doctype",))
+
+    def test_expected_messages_listing(self):
+        page = PageGenerator(seed=0).page()
+        seeded = ErrorSeeder(seed=2).seed_errors(page, count=2)
+        assert len(seeded.expected_messages()) == 2
+
+
+class TestCorpus:
+    def test_valid_corpus(self):
+        corpus = build_valid_corpus(5, seed=10)
+        assert len(corpus) == 5
+        assert len(set(corpus)) == 5  # all distinct
+
+    def test_valid_corpus_page_regenerable(self):
+        corpus = build_valid_corpus(3, seed=10)
+        assert corpus[2] == build_valid_corpus(1, seed=12)[0]
+
+    def test_seeded_corpus_ground_truth(self):
+        corpus = build_seeded_corpus(4, errors_per_page=2, seed=0)
+        assert all(len(page.applied) == 2 for page in corpus)
+
+    def test_build_site(self):
+        site = build_site(3, seed=0)
+        assert len(site) == 3

@@ -1,0 +1,207 @@
+"""Tests for the virtual web, the user agent and robots.txt."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.www.client import FetchError, NoNetworkError, UserAgent
+from repro.www.message import Headers, Request, Response
+from repro.www.robotstxt import RobotsTxt
+from repro.www.virtualweb import VirtualWeb
+
+
+@pytest.fixture
+def web():
+    instance = VirtualWeb()
+    instance.add_page("http://h/", "<html><body>home</body></html>")
+    instance.add_page("http://h/a.html", "page a")
+    return instance
+
+
+class TestHeaders:
+    def test_case_insensitive(self):
+        headers = Headers({"Content-Type": "text/html"})
+        assert headers.get("content-type") == "text/html"
+        assert "CONTENT-TYPE" in headers
+
+    def test_set_replaces(self):
+        headers = Headers()
+        headers.set("X", "1")
+        headers.set("x", "2")
+        assert headers.get("X") == "2"
+        assert len(headers.items()) == 1
+
+    def test_add_keeps_both(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a")
+        headers.add("Set-Cookie", "b")
+        assert len(headers.items()) == 2
+        assert headers.get("set-cookie") == "b"
+
+
+class TestMessages:
+    def test_request_normalises_method(self):
+        assert Request("get", "http://h/").method == "GET"
+
+    def test_request_rejects_post(self):
+        with pytest.raises(ValueError):
+            Request("POST", "http://h/")
+
+    def test_response_predicates(self):
+        response = Response(status=200, url="http://h/",
+                            headers=Headers({"Content-Type": "text/html; charset=x"}))
+        assert response.ok and response.is_html
+        assert response.reason == "OK"
+
+    def test_redirect_predicates(self):
+        response = Response(status=302, url="http://h/",
+                            headers=Headers({"Location": "/x"}))
+        assert response.is_redirect and response.location == "/x"
+
+
+class TestVirtualWeb:
+    def test_serves_page(self, web):
+        response = web.handle(Request("GET", "http://h/a.html"))
+        assert response.status == 200 and response.body == "page a"
+
+    def test_404_for_missing(self, web):
+        response = web.handle(Request("GET", "http://h/missing.html"))
+        assert response.status == 404
+        assert "404" in response.body
+
+    def test_head_has_no_body(self, web):
+        response = web.handle(Request("HEAD", "http://h/a.html"))
+        assert response.status == 200 and response.body == ""
+
+    def test_redirect_not_followed_by_server(self, web):
+        web.add_redirect("http://h/old", "/a.html")
+        response = web.handle(Request("GET", "http://h/old"))
+        assert response.is_redirect and response.location == "/a.html"
+
+    def test_broken_with_status(self, web):
+        web.add_broken("http://h/gone", status=410)
+        assert web.handle(Request("GET", "http://h/gone")).status == 410
+
+    def test_hit_counts(self, web):
+        web.handle(Request("GET", "http://h/a.html"))
+        web.handle(Request("GET", "http://h/a.html#frag"))
+        assert web.hit_counts["http://h/a.html"] == 2
+
+    def test_add_site_mapping(self):
+        web = VirtualWeb()
+        urls = web.add_site("http://s/", {"index.html": "i", "sub/x.html": "x"})
+        assert "http://s/index.html" in urls
+        assert web.handle(Request("GET", "http://s/sub/x.html")).body == "x"
+
+    def test_add_site_from_directory(self, tmp_path):
+        (tmp_path / "index.html").write_text("root")
+        (tmp_path / "d").mkdir()
+        (tmp_path / "d" / "p.html").write_text("deep")
+        web = VirtualWeb()
+        web.add_site("http://s/", tmp_path)
+        assert web.handle(Request("GET", "http://s/d/p.html")).body == "deep"
+
+    def test_remove(self, web):
+        web.remove("http://h/a.html")
+        assert web.handle(Request("GET", "http://h/a.html")).status == 404
+
+    def test_urls_listing(self, web):
+        assert "http://h/a.html" in web.urls()
+
+
+class TestUserAgent:
+    def test_get(self, web):
+        assert UserAgent(web).get("http://h/a.html").body == "page a"
+
+    def test_follows_redirect_chain(self, web):
+        web.add_redirect("http://h/one", "/two")
+        web.add_redirect("http://h/two", "/a.html")
+        response = UserAgent(web).get("http://h/one")
+        assert response.body == "page a"
+        assert response.url == "http://h/a.html"
+        assert len(response.redirects) == 2
+
+    def test_redirect_loop_detected(self, web):
+        web.add_redirect("http://h/x", "/y")
+        web.add_redirect("http://h/y", "/x")
+        with pytest.raises(FetchError, match="loop"):
+            UserAgent(web).get("http://h/x")
+
+    def test_too_many_redirects(self, web):
+        for index in range(10):
+            web.add_redirect(f"http://h/r{index}", f"/r{index + 1}")
+        with pytest.raises(FetchError, match="redirect"):
+            UserAgent(web, max_redirects=3).get("http://h/r0")
+
+    def test_relative_location_resolved(self, web):
+        web.add_redirect("http://h/dir/old", "new.html")
+        web.add_page("http://h/dir/new.html", "moved")
+        assert UserAgent(web).get("http://h/dir/old").body == "moved"
+
+    def test_no_web_raises(self):
+        with pytest.raises(NoNetworkError):
+            UserAgent().get("http://h/")
+
+    def test_exists(self, web):
+        agent = UserAgent(web)
+        assert agent.exists("http://h/a.html")
+        assert not agent.exists("http://h/nope.html")
+
+    def test_cache(self, web):
+        agent = UserAgent(web, cache=True)
+        agent.get("http://h/a.html")
+        agent.get("http://h/a.html")
+        assert agent.requests_made == 1
+
+    def test_user_agent_header_sent(self, web):
+        UserAgent(web, agent_name="test-bot/1.0").get("http://h/a.html")
+        assert web.request_log[-1].headers.get("User-Agent") == "test-bot/1.0"
+
+
+ROBOTS = """
+# example robots file
+User-agent: poacher
+Disallow: /private/
+Allow: /private/public.html
+
+User-agent: *
+Disallow: /secret/
+"""
+
+
+class TestRobotsTxt:
+    def test_specific_agent_rules(self):
+        rules = RobotsTxt(ROBOTS)
+        assert not rules.allowed("/private/x.html", "poacher-repro/2.0")
+        assert rules.allowed("/private/public.html", "poacher-repro/2.0")
+        assert rules.allowed("/secret/x.html", "poacher-repro/2.0")
+
+    def test_wildcard_rules(self):
+        rules = RobotsTxt(ROBOTS)
+        assert not rules.allowed("/secret/x.html", "otherbot")
+        assert rules.allowed("/private/x.html", "otherbot")
+
+    def test_empty_file_allows_all(self):
+        assert RobotsTxt("").allowed("/anything")
+
+    def test_disallow_all(self):
+        rules = RobotsTxt("User-agent: *\nDisallow: /\n")
+        assert not rules.allowed("/x")
+
+    def test_empty_disallow_allows(self):
+        rules = RobotsTxt("User-agent: *\nDisallow:\n")
+        assert rules.allowed("/x")
+
+    def test_longest_match_wins(self):
+        rules = RobotsTxt(
+            "User-agent: *\nDisallow: /a/\nAllow: /a/b/\n"
+        )
+        assert not rules.allowed("/a/x")
+        assert rules.allowed("/a/b/x")
+
+    def test_multiple_agents_one_group(self):
+        rules = RobotsTxt(
+            "User-agent: one\nUser-agent: two\nDisallow: /x/\n"
+        )
+        assert not rules.allowed("/x/p", "one")
+        assert not rules.allowed("/x/p", "two")

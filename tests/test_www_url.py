@@ -1,0 +1,153 @@
+"""URL parsing and resolution tests, including hypothesis properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.www.url import URL, URLError, remove_dot_segments, urljoin, urlparse
+
+
+class TestParse:
+    def test_full_url(self):
+        url = urlparse("http://user@example.com:8080/a/b?x=1#frag")
+        assert url.scheme == "http"
+        assert url.host == "example.com"
+        assert url.port == 8080
+        assert url.path == "/a/b"
+        assert url.query == "x=1"
+        assert url.fragment == "frag"
+
+    def test_minimal_absolute(self):
+        url = urlparse("http://example.com")
+        assert url.host == "example.com"
+        assert url.path in ("", "/")  # parser may supply the implicit '/'
+
+    def test_relative_path(self):
+        url = urlparse("a/b.html")
+        assert not url.is_absolute
+        assert url.path == "a/b.html"
+
+    def test_fragment_only(self):
+        url = urlparse("#top")
+        assert url.is_fragment_only
+
+    def test_scheme_lowered(self):
+        assert urlparse("HTTP://X.COM/").scheme == "http"
+
+    def test_mailto(self):
+        url = urlparse("mailto:bob@example.com")
+        assert url.scheme == "mailto"
+        assert url.path == "bob@example.com"
+
+    def test_bad_port(self):
+        with pytest.raises(URLError):
+            urlparse("http://h:notaport/")
+
+    def test_effective_port(self):
+        assert urlparse("http://h/").effective_port() == 80
+        assert urlparse("https://h/").effective_port() == 443
+        assert urlparse("http://h:8080/").effective_port() == 8080
+
+    def test_str_roundtrip(self):
+        text = "http://example.com:8080/a/b?x=1#f"
+        assert str(urlparse(text)) == text
+
+
+class TestNormalise:
+    def test_default_port_dropped(self):
+        assert str(urlparse("http://h:80/x").normalised()) == "http://h/x"
+
+    def test_empty_path_becomes_slash(self):
+        assert urlparse("http://h").normalised().path == "/"
+
+    def test_host_lowered(self):
+        assert urlparse("http://EXAMPLE.com/").normalised().host == "example.com"
+
+    def test_same_host(self):
+        a = urlparse("http://H.com/x")
+        b = urlparse("http://h.com:80/y")
+        assert a.same_host(b)
+
+    def test_without_fragment(self):
+        assert urlparse("http://h/x#f").without_fragment().fragment == ""
+
+
+class TestDotSegments:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("/a/b/../c", "/a/c"),
+            ("/a/./b", "/a/b"),
+            ("/../a", "/a"),
+            ("/a/b/..", "/a/"),
+            ("a/../b", "b"),
+            ("../x", "../x"),
+            ("/a//b", "/a/b"),
+            ("", ""),
+        ],
+    )
+    def test_removal(self, path, expected):
+        assert remove_dot_segments(path) == expected
+
+
+class TestJoin:
+    @pytest.mark.parametrize(
+        "base,ref,expected",
+        [
+            ("http://h/a/b.html", "c.html", "http://h/a/c.html"),
+            ("http://h/a/b.html", "/c.html", "http://h/c.html"),
+            ("http://h/a/b.html", "../c.html", "http://h/c.html"),
+            ("http://h/a/b.html", "http://other/x", "http://other/x"),
+            ("http://h/a/b.html", "//other/x", "http://other/x"),
+            ("http://h/a/", "sub/", "http://h/a/sub/"),
+            ("http://h/a/b.html", "?q=1", "http://h/a/b.html?q=1"),
+            ("http://h/a/b.html", "#top", "http://h/a/b.html#top"),
+            ("http://h", "x.html", "http://h/x.html"),
+        ],
+    )
+    def test_join_cases(self, base, ref, expected):
+        assert str(urljoin(base, ref)) == expected
+
+    def test_join_accepts_url_objects(self):
+        base = urlparse("http://h/a/")
+        assert str(urljoin(base, urlparse("x"))) == "http://h/a/x"
+
+
+class TestProperties:
+    @given(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Ll", "Lu", "Nd"),
+                whitelist_characters="/.-_~",
+            ),
+            max_size=40,
+        )
+    )
+    def test_parse_never_crashes_on_paths(self, path):
+        url = urlparse(path)
+        assert isinstance(url, URL)
+
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "c", ".", ".."]), max_size=8
+        ).map(lambda parts: "/" + "/".join(parts))
+    )
+    def test_dot_removal_idempotent(self, path):
+        once = remove_dot_segments(path)
+        assert remove_dot_segments(once) == once
+
+    @given(
+        st.lists(st.sampled_from(["a", "b", ".."]), max_size=6).map(
+            lambda parts: "/".join(parts) or "x"
+        )
+    )
+    def test_join_result_is_absolute(self, ref):
+        joined = urljoin("http://host/base/page.html", ref)
+        assert joined.scheme == "http"
+        assert joined.host == "host"
+
+    @given(st.sampled_from(["http://h/a/b?x=1#f", "http://h:81/", "http://h/"]))
+    def test_normalise_idempotent(self, text):
+        url = urlparse(text).normalised()
+        assert url.normalised() == url
