@@ -8,7 +8,13 @@ recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
+
+from repro.obs import get_registry
 
 #: The exact example from paper section 4.2.
 PAPER_EXAMPLE = """<HTML>
@@ -26,6 +32,41 @@ for more details.
 @pytest.fixture
 def paper_example() -> str:
     return PAPER_EXAMPLE
+
+
+#: Results benchmarks record for the BENCH_obs.json trajectory file.
+_BENCH_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_result(name: str, **values: object) -> None:
+    """Record one benchmark's headline numbers for ``BENCH_obs.json``.
+
+    Call it from any benchmark (``record_result("e10", kb_per_s=450)``);
+    the session hook below writes everything recorded, together with a
+    dump of the global metrics registry, when the run finishes.
+    """
+    _BENCH_RESULTS[name] = dict(values)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Emit ``BENCH_obs.json`` so every benchmark run leaves a snapshot.
+
+    The file pairs the recorded throughput numbers with the metrics the
+    obs layer accumulated during the run (documents, tokens, bytes,
+    latency histograms ...), giving the bench trajectory one artefact
+    per run from this PR onward.
+    """
+    payload = {
+        "generated_unix": round(time.time(), 3),
+        "exit_status": int(exitstatus),
+        "results": _BENCH_RESULTS,
+        "metrics": get_registry().snapshot(),
+    }
+    path = Path(str(session.config.rootpath)) / "BENCH_obs.json"
+    try:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    except OSError:  # pragma: no cover - read-only checkout
+        pass
 
 
 def print_table(title: str, rows: list[tuple], headers: tuple) -> None:

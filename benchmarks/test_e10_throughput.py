@@ -19,7 +19,7 @@ import time
 from repro import Weblint
 from repro.workload import GeneratorConfig, PageGenerator
 
-from conftest import print_table
+from conftest import print_table, record_result
 
 
 def _page_of_size(paragraphs: int) -> str:
@@ -68,6 +68,13 @@ def test_e10_throughput_and_scaling(benchmark):
     )
     # Absolute floor: at least 100 KB/s on the largest document.
     assert large_bytes / 1024 / large_time > 100
+
+    record_result(
+        "e10_throughput",
+        kb_per_s=round(large_bytes / 1024 / large_time, 1),
+        largest_doc_kb=round(large_bytes / 1024, 1),
+        check_ms=round(large_time * 1000, 3),
+    )
 
     print_table(
         "E10: single-pass scaling (time vs document size)",

@@ -14,7 +14,9 @@ user's ``.weblintrc``, then command-line switches.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -27,6 +29,7 @@ from repro.core.linter import Weblint, WeblintError
 from repro.core.messages import CATALOG
 from repro.core.reporter import available_reporters, get_reporter
 from repro.html.spec import available_specs
+from repro.obs import use_profiler, use_registry, use_tracer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--locale",
         metavar="LOCALE",
         help="render messages in another language (en, fr, de)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a metrics summary (files, diagnostics, wall time) "
+        "to stderr after the run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record hierarchical spans for the run and write them as "
+        "JSON lines to FILE ('-' for stderr)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time every rule and print the slowest ones (and the most "
+        "frequent message ids) to stderr",
     )
     parser.add_argument(
         "--list-messages",
@@ -210,6 +231,27 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         err.write(f"weblint: {exc}\n")
         return constants.EXIT_USAGE
 
+    # Every invocation records into its own registry, so --stats (and the
+    # stats reporter) report this run, not the process's whole history.
+    with use_registry() as registry, contextlib.ExitStack() as stack:
+        started = time.perf_counter()
+        tracer = stack.enter_context(use_tracer()) if args.trace else None
+        profiler = stack.enter_context(use_profiler()) if args.profile else None
+
+        code = _check_paths(args, options, weblint, out, err)
+        wall_seconds = time.perf_counter() - started
+
+        if tracer is not None and not _write_trace(tracer, args.trace, err):
+            code = max(code, constants.EXIT_USAGE)
+        if profiler is not None:
+            err.write(profiler.render_report() + "\n")
+        if args.stats:
+            _print_stats(registry, weblint, wall_seconds, err)
+    return code
+
+
+def _check_paths(args, options, weblint: Weblint, out, err) -> int:
+    """The path loop: returns the process exit code."""
     paths = args.paths or ["-"]
     total = 0
     try:
@@ -247,6 +289,50 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         return constants.EXIT_USAGE
 
     return constants.EXIT_WARNINGS if total else constants.EXIT_CLEAN
+
+
+#: Counters that always appear in the --stats summary, even at zero.
+_STATS_DEFAULTS = (
+    "lint.files",
+    "lint.diagnostics.error",
+    "lint.diagnostics.warning",
+)
+
+
+def _print_stats(registry, weblint: Weblint, wall_seconds: float, stream) -> None:
+    stream.write("weblint stats:\n")
+    counts = weblint.reporter.count
+    by_category = ", ".join(
+        f"{value} {name}" for name, value in sorted(counts.items()) if name != "total"
+    )
+    stream.write(
+        f"  diagnostics: {counts.get('total', 0)}"
+        + (f" ({by_category})" if by_category else "")
+        + "\n"
+    )
+    for line in registry.summary_lines(defaults=_STATS_DEFAULTS):
+        stream.write(f"  {line}\n")
+    stream.write(f"  total wall time: {wall_seconds * 1000.0:.1f} ms\n")
+
+
+def _write_trace(tracer, destination: str, err) -> bool:
+    """Write the recorded spans; ``-`` means a pretty tree on stderr.
+
+    Returns False when the requested file could not be written, so the
+    caller can fail the run instead of silently dropping the artefact.
+    """
+    if destination == "-":
+        tree = tracer.format_tree()
+        if tree:
+            err.write(tree + "\n")
+        return True
+    try:
+        with open(destination, "w", encoding="utf-8") as handle:
+            tracer.write_jsonlines(handle)
+    except OSError as exc:
+        err.write(f"weblint: cannot write trace to {destination}: {exc}\n")
+        return False
+    return True
 
 
 if __name__ == "__main__":  # pragma: no cover

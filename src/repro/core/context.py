@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
+from repro.obs.profile import get_profiler
 from repro.html.spec import ElementDef, HTMLSpec
 from repro.html.tokens import StartTag
 
@@ -90,6 +91,10 @@ class CheckContext:
         # Scratch space rules may use to coordinate (keyed by rule name).
         self.scratch: dict[str, object] = {}
 
+        # Deepest the main stack got; the engine reports it to the
+        # metrics registry (engine.stack.high_water) after the check.
+        self.stack_high_water = 0
+
     # -- emission ----------------------------------------------------------------
 
     def emit(self, message_id: str, *, line: int, column: int = 0, **arguments: object) -> bool:
@@ -114,6 +119,9 @@ class CheckContext:
                 **arguments,
             )
         )
+        profiler = get_profiler()
+        if profiler is not None:
+            profiler.note_message(message_id)
         return True
 
     # -- inline configuration ------------------------------------------------------
@@ -149,6 +157,8 @@ class CheckContext:
 
     def push(self, open_element: OpenElement) -> None:
         self.stack.append(open_element)
+        if len(self.stack) > self.stack_high_water:
+            self.stack_high_water = len(self.stack)
 
     def find_open(self, name: str) -> int:
         """Index of the topmost open element with this name, or -1."""

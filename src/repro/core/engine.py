@@ -42,7 +42,10 @@ from typing import Optional, Sequence
 from repro.config.options import Options
 from repro.core.context import CheckContext, OpenElement
 from repro.core.rules import default_rules
-from repro.core.rules.base import Rule
+from repro.core.rules.base import Rule, wrap_rules
+from repro.obs.metrics import get_registry
+from repro.obs.profile import get_profiler
+from repro.obs.trace import get_tracer
 from repro.html.spec import ElementDef, HTMLSpec, get_spec
 from repro.html.tokenizer import tokenize
 from repro.html.tokens import (
@@ -95,15 +98,35 @@ class Engine:
 
     def check(self, source: str, filename: str = "-") -> CheckContext:
         """Run the stack machine over ``source``; returns the context."""
+        tracer = get_tracer()
+        profiler = get_profiler()
+        previous_rules = self.rules
+        if profiler is not None:
+            # Dispatch goes through self.rules; swap in timing shims for
+            # the duration of this check only.
+            profiler.note_document()
+            self.rules = wrap_rules(self.rules, profiler)
+
         context = CheckContext(self.spec, self.options, filename)
-        for rule in self.rules:
-            rule.start_document(context)
-        for token in tokenize(source):
-            context.last_line = token.line
-            self._dispatch(context, token)
-        self._finish(context)
-        for rule in self.rules:
-            rule.end_document(context)
+        try:
+            with tracer.span("engine.tokenize", file=filename):
+                tokens = tokenize(source)
+            with tracer.span("engine.dispatch", file=filename, tokens=len(tokens)):
+                for rule in self.rules:
+                    rule.start_document(context)
+                for token in tokens:
+                    context.last_line = token.line
+                    self._dispatch(context, token)
+            with tracer.span("engine.finish", file=filename):
+                self._finish(context)
+                for rule in self.rules:
+                    rule.end_document(context)
+        finally:
+            self.rules = previous_rules
+
+        registry = get_registry()
+        registry.inc("engine.documents")
+        registry.gauge_max("engine.stack.high_water", context.stack_high_water)
         return context
 
     # -- dispatch ----------------------------------------------------------------

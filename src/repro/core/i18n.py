@@ -367,6 +367,7 @@ class LocalisedReporter(LintReporter):
     name = "localised"
 
     def __init__(self, locale: str) -> None:
+        super().__init__()
         self.locale = locale
 
     def format(self, diagnostic: Diagnostic) -> str:

@@ -24,6 +24,7 @@ with a compatible ``get`` method.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -34,6 +35,8 @@ from repro.core.messages import Category
 from repro.core.reporter import LintReporter, Reporter, ShortReporter
 from repro.core.rules.base import Rule
 from repro.html.spec import HTMLSpec, get_spec
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 
 class WeblintError(Exception):
@@ -69,8 +72,16 @@ class Weblint:
 
     def check_string(self, source: str, filename: str = "-") -> list[Diagnostic]:
         """Check HTML given as a string."""
-        context = self._engine.check(source, filename)
-        return context.sorted_diagnostics()
+        start = time.perf_counter()
+        with get_tracer().span("lint.file", file=filename):
+            context = self._engine.check(source, filename)
+        diagnostics = context.sorted_diagnostics()
+        registry = get_registry()
+        registry.inc("lint.files")
+        registry.observe("lint.check_ms", (time.perf_counter() - start) * 1000.0)
+        for diagnostic in diagnostics:
+            registry.inc(f"lint.diagnostics.{diagnostic.category.value}")
+        return diagnostics
 
     def check_file(self, path: Union[str, Path]) -> list[Diagnostic]:
         """Check one HTML file on disk."""

@@ -24,12 +24,32 @@ from typing import IO, Iterable, Optional
 
 from repro.core.diagnostics import Diagnostic
 from repro.core.messages import message
+from repro.obs.metrics import get_registry
 
 
 class Reporter:
-    """Base reporter: format one diagnostic, or report a whole list."""
+    """Base reporter: format one diagnostic, or report a whole list.
+
+    Output contract (every subclass, and every caller, can rely on it):
+
+    - With diagnostics: header (if any), one ``format`` line per
+      diagnostic, footer (if any), joined by newlines.
+    - Without diagnostics: :meth:`empty` is rendered instead -- the
+      header/footer frame is *never* emitted around nothing, so a
+      header-only reporter still produces either its empty text or a
+      complete frame, not a dangling header.
+    - Whenever the rendered text is non-empty and a stream was given, it
+      is written with exactly one trailing newline.
+
+    Reporters also tally what they have reported: :attr:`count` holds
+    per-category totals (plus ``"total"``) accumulated across calls,
+    which ``weblint --stats`` reuses for its summary.
+    """
 
     name = "base"
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {"total": 0}
 
     def format(self, diagnostic: Diagnostic) -> str:
         raise NotImplementedError
@@ -40,6 +60,21 @@ class Reporter:
     def footer(self, diagnostics: list[Diagnostic]) -> str:
         return ""
 
+    def empty(self) -> str:
+        """Rendered when there is nothing to report (default: nothing)."""
+        return ""
+
+    @property
+    def count(self) -> dict[str, int]:
+        """Diagnostics reported so far, by category, plus ``"total"``."""
+        return dict(self._counts)
+
+    def _record(self, items: list[Diagnostic]) -> None:
+        self._counts["total"] = self._counts.get("total", 0) + len(items)
+        for diagnostic in items:
+            key = diagnostic.category.value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
     def report(
         self,
         diagnostics: Iterable[Diagnostic],
@@ -47,15 +82,19 @@ class Reporter:
     ) -> str:
         """Render all diagnostics; write to ``stream`` if given."""
         items = list(diagnostics)
-        parts: list[str] = []
-        head = self.header()
-        if head:
-            parts.append(head)
-        parts.extend(self.format(d) for d in items)
-        foot = self.footer(items)
-        if foot:
-            parts.append(foot)
-        text = "\n".join(parts)
+        self._record(items)
+        if not items:
+            text = self.empty()
+        else:
+            parts: list[str] = []
+            head = self.header()
+            if head:
+                parts.append(head)
+            parts.extend(self.format(d) for d in items)
+            foot = self.footer(items)
+            if foot:
+                parts.append(foot)
+            text = "\n".join(parts)
         if stream is not None and text:
             stream.write(text + "\n")
         return text
@@ -118,19 +157,9 @@ class HTMLReporter(Reporter):
 
     name = "html"
 
-    def report(
-        self,
-        diagnostics: Iterable[Diagnostic],
-        stream: Optional[IO[str]] = None,
-    ) -> str:
-        items = list(diagnostics)
-        if not items:
-            # No empty <ul>: the report page must itself lint clean.
-            text = "<p>No problems found - nice page!</p>"
-            if stream is not None:
-                stream.write(text + "\n")
-            return text
-        return super().report(items, stream=stream)
+    def empty(self) -> str:
+        # No empty <ul>: the report page must itself lint clean.
+        return "<p>No problems found - nice page!</p>"
 
     def header(self) -> str:
         return '<ul class="weblint-report">'
@@ -170,8 +199,38 @@ class JSONReporter(Reporter):
         diagnostics: Iterable[Diagnostic],
         stream: Optional[IO[str]] = None,
     ) -> str:
+        items = list(diagnostics)
+        self._record(items)
+        payload = json.dumps([self._as_dict(d) for d in items], indent=2)
+        if stream is not None:
+            stream.write(payload + "\n")
+        return payload
+
+
+class StatsReporter(Reporter):
+    """Diagnostics summary plus the metrics-registry snapshot, as JSON.
+
+    The machine-readable face of the observability layer: CI jobs and
+    benchmark harnesses run ``weblint -f stats`` and get category totals
+    *and* every ``lint.*`` / ``tokenizer.*`` / ``engine.*`` metric the
+    run recorded, in one parseable object.
+    """
+
+    name = "stats"
+
+    def report(
+        self,
+        diagnostics: Iterable[Diagnostic],
+        stream: Optional[IO[str]] = None,
+    ) -> str:
+        items = list(diagnostics)
+        self._record(items)
         payload = json.dumps(
-            [self._as_dict(d) for d in diagnostics], indent=2
+            {
+                "diagnostics": self.count,
+                "metrics": get_registry().snapshot(),
+            },
+            indent=2,
         )
         if stream is not None:
             stream.write(payload + "\n")
@@ -180,7 +239,14 @@ class JSONReporter(Reporter):
 
 _REPORTERS = {
     cls.name: cls
-    for cls in (LintReporter, ShortReporter, VerboseReporter, HTMLReporter, JSONReporter)
+    for cls in (
+        LintReporter,
+        ShortReporter,
+        VerboseReporter,
+        HTMLReporter,
+        JSONReporter,
+        StatsReporter,
+    )
 }
 
 

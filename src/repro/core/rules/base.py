@@ -17,11 +17,13 @@ Hook order for one document::
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from typing import Optional, Sequence
 
 from repro.core.context import CheckContext, OpenElement
 from repro.html.spec import ElementDef
 from repro.html.tokens import Comment, Declaration, EndTag, StartTag, Text
+from repro.obs.profile import RuleProfiler
 
 
 class Rule:
@@ -74,3 +76,68 @@ class Rule:
 
     def end_document(self, context: CheckContext) -> None:
         """Called once after the last token and final stack unwind."""
+
+
+class TimedRule(Rule):
+    """Transparent timing shim around another rule.
+
+    Every hook invocation is timed with ``perf_counter`` and accumulated
+    into a :class:`~repro.obs.profile.RuleProfiler` under the inner
+    rule's ``name``.  The engine wraps its rule list in these only while
+    profiling is active, so the default pipeline never pays for it.
+    """
+
+    def __init__(self, inner: Rule, profiler: RuleProfiler) -> None:
+        self.inner = inner
+        self.profiler = profiler
+        self.name = inner.name
+
+    def _timed(self, method, *args) -> None:
+        start = time.perf_counter()
+        method(*args)
+        self.profiler.add(self.name, time.perf_counter() - start)
+
+    def start_document(self, context: CheckContext) -> None:
+        self._timed(self.inner.start_document, context)
+
+    def handle_start_tag(
+        self,
+        context: CheckContext,
+        tag: StartTag,
+        elem: Optional[ElementDef],
+    ) -> None:
+        self._timed(self.inner.handle_start_tag, context, tag, elem)
+
+    def handle_end_tag(self, context: CheckContext, tag: EndTag) -> None:
+        self._timed(self.inner.handle_end_tag, context, tag)
+
+    def handle_element_closed(
+        self,
+        context: CheckContext,
+        open_element: OpenElement,
+        end_tag: Optional[EndTag],
+        implicit: bool,
+    ) -> None:
+        self._timed(
+            self.inner.handle_element_closed, context, open_element, end_tag, implicit
+        )
+
+    def handle_text(self, context: CheckContext, token: Text) -> None:
+        self._timed(self.inner.handle_text, context, token)
+
+    def handle_comment(self, context: CheckContext, token: Comment) -> None:
+        self._timed(self.inner.handle_comment, context, token)
+
+    def handle_declaration(self, context: CheckContext, token: Declaration) -> None:
+        self._timed(self.inner.handle_declaration, context, token)
+
+    def end_document(self, context: CheckContext) -> None:
+        self._timed(self.inner.end_document, context)
+
+
+def wrap_rules(rules: Sequence[Rule], profiler: RuleProfiler) -> list[Rule]:
+    """Wrap every rule in a :class:`TimedRule` (idempotent)."""
+    return [
+        rule if isinstance(rule, TimedRule) else TimedRule(rule, profiler)
+        for rule in rules
+    ]

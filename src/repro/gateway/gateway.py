@@ -37,8 +37,10 @@ from repro.gateway.htmlreport import (
     escape,
     estimate_page_weight,
     render_page,
+    render_stats_table,
     render_table,
 )
+from repro.obs.metrics import get_registry
 from repro.www.client import FetchError, UserAgent
 
 
@@ -124,7 +126,14 @@ class Gateway:
             return self._error(502, f"Could not fetch the page: {exc}")
 
         return GatewayResponse(
-            status=200, body=self._render_report(label, body, diagnostics, options)
+            status=200,
+            body=self._render_report(
+                label,
+                body,
+                diagnostics,
+                options,
+                include_stats=bool(form.get("stats")),
+            ),
         )
 
     # -- helpers -----------------------------------------------------------------------
@@ -151,6 +160,7 @@ class Gateway:
         body: str,
         diagnostics: list[Diagnostic],
         options: Options,
+        include_stats: bool = False,
     ) -> str:
         fragments = [
             f"<p>Report for <code>{escape(label)}</code> "
@@ -161,6 +171,11 @@ class Gateway:
             weight = estimate_page_weight(body)
             fragments.append("<h2>Page weight</h2>")
             fragments.append(render_table(weight.rows(), summary="page weight"))
+        if include_stats:
+            # The form's stats=1 field: lint/fetch metrics for this
+            # gateway process (docs/observability.md).
+            fragments.append("<h2>Checker statistics</h2>")
+            fragments.append(render_stats_table(get_registry().snapshot()))
         return render_page("Weblint gateway report", fragments)
 
     def _error(self, status: int, message: str) -> GatewayResponse:

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.html import entities
+from repro.obs.metrics import get_registry
 from repro.html.tokens import (
     Attribute,
     Comment,
@@ -78,6 +79,12 @@ class Tokenizer:
                 self._scan_angle()
             else:
                 self._scan_text()
+        # Aggregate metrics once per document, keeping the scan loop free
+        # of instrumentation (docs/observability.md: tokenizer.*).
+        registry = get_registry()
+        registry.inc("tokenizer.documents")
+        registry.inc("tokenizer.tokens", len(self._tokens))
+        registry.inc("tokenizer.bytes", self.length)
         return self._tokens
 
     # -- position helpers ---------------------------------------------------

@@ -1,0 +1,57 @@
+"""``repro.obs`` -- tracing, metrics and profiling for the lint pipeline.
+
+Three independent layers, cheapest first:
+
+- **metrics** (always on): process-local counters/gauges/histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry`; instrumented code records
+  a handful of values per document, never per token.
+- **traces** (off by default): hierarchical spans via
+  ``get_tracer().span(...)``; the default :class:`~repro.obs.trace.NullTracer`
+  hands back one shared no-op span so disabled call sites do no work.
+- **profiles** (off by default): per-rule timing and per-message-id
+  counts via a :class:`~repro.obs.profile.RuleProfiler`.
+
+See docs/observability.md for the metric namespace and usage recipes.
+This package imports nothing from the rest of ``repro``; every layer may
+depend on it without cycles.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.profile import (
+    RuleProfiler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "RuleProfiler",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
+    "NULL_SPAN",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

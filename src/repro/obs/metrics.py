@@ -1,0 +1,266 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+This is the always-on half of the observability layer (DESIGN.md section
+2; docs/observability.md documents the metric namespace).  The registry
+is deliberately primitive -- plain ``int``/``float`` slots behind a dict
+lookup -- so that instrumented hot paths pay a few dict operations per
+*document* (never per token).  Nothing here imports from the rest of
+``repro``; every other layer may import this one.
+
+Naming convention: dotted lower-case paths, ``<subsystem>.<thing>`` or
+``<subsystem>.<thing>.<qualifier>``, e.g. ``lint.files``,
+``tokenizer.tokens``, ``robot.fetch.latency_ms``.  Units are part of the
+name (``_ms``, ``bytes``) so snapshots are self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Optional
+
+#: Default histogram bucket upper bounds, tuned for millisecond latencies
+#: (the only histograms the checker records by default).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways; also tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def set_max(self, value: float) -> None:
+        """Record ``value`` only if it exceeds the high-water mark."""
+        if value > self.high_water:
+            self.high_water = value
+            self.value = value
+
+    def snapshot(self) -> dict[str, float]:
+        return {"value": self.value, "max": self.high_water}
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-style buckets plus sum/count.
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value, or in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "overflow", "total", "count", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "max": round(self.max, 6),
+            "buckets": {
+                f"le_{bound:g}": count
+                for bound, count in zip(self.buckets, self.counts)
+            },
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use home for every metric in the process.
+
+    Instrument with the convenience methods (``inc``, ``observe``,
+    ``gauge_max``) or hold on to the metric object when a path is hot::
+
+        registry = get_registry()
+        registry.inc("lint.files")
+        registry.observe("robot.fetch.latency_ms", elapsed_ms)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- metric access -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Optional[tuple[float, ...]] = None
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(
+                    name, Histogram(name, buckets or DEFAULT_BUCKETS)
+                )
+        return metric
+
+    # -- conveniences ------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        self.gauge(name).set_max(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str, default: int = 0) -> int:
+        """Current value of a counter (0 if it was never incremented)."""
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else default
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Every metric, sorted by name, as plain JSON-able values."""
+        result: dict[str, object] = {}
+        for name, counter in self._counters.items():
+            result[name] = counter.snapshot()
+        for name, gauge in self._gauges.items():
+            result[name] = gauge.snapshot()
+        for name, histogram in self._histograms.items():
+            result[name] = histogram.snapshot()
+        return dict(sorted(result.items()))
+
+    def summary_lines(self, defaults: tuple[str, ...] = ()) -> list[str]:
+        """Human-readable one-line-per-metric rendering for ``--stats``.
+
+        ``defaults`` names counters that must appear even when they were
+        never incremented, so summary output has a stable shape.
+        """
+        snap = self.snapshot()
+        for name in defaults:
+            snap.setdefault(name, 0)
+        lines = []
+        for name, value in sorted(snap.items()):
+            if isinstance(value, dict):
+                if "buckets" in value:  # histogram
+                    lines.append(
+                        f"{name}: count={value['count']} mean={value['mean']:g} "
+                        f"max={value['max']:g}"
+                    )
+                else:  # gauge
+                    lines.append(f"{name}: {value['value']:g} (max {value['max']:g})")
+            else:
+                lines.append(f"{name}: {value}")
+        return lines
+
+    def write_json(self, stream: IO[str]) -> None:
+        json.dump(self.snapshot(), stream, indent=2)
+        stream.write("\n")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# -- the process-wide default registry ------------------------------------
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented code records into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the active registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+class use_registry:
+    """Context manager: swap in a registry (a fresh one by default).
+
+    Used by the CLI so every invocation reports its own numbers, and by
+    tests for isolation::
+
+        with use_registry() as registry:
+            weblint.check_file(path)
+            assert registry.value("lint.files") == 1
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._previous is not None:
+            set_registry(self._previous)

@@ -1,0 +1,207 @@
+"""Hierarchical spans with a free-when-disabled default.
+
+The lint pipeline opens spans around its phases::
+
+    from repro.obs import get_tracer
+
+    with get_tracer().span("lint.file", file=filename):
+        ...
+
+By default the active tracer is the :class:`NullTracer`, whose ``span``
+returns one shared no-op context manager -- no allocation, no clock
+read -- so always-on call sites cost two method calls and nothing else.
+``--trace FILE`` (and tests) install a :class:`Tracer` that records real
+:class:`Span` trees, exportable as JSON lines or a pretty tree.
+
+Single-threaded by design, like the checker itself: one tracer tracks
+one open-span stack.  Give each worker its own tracer if the pipeline
+ever fans out.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Iterator, Optional
+
+
+class Span:
+    """One timed region; nests under whatever span was open at entry."""
+
+    __slots__ = (
+        "tracer", "name", "attributes", "span_id", "parent_id",
+        "start", "end", "children",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list[Span] = []
+
+    # -- context manager protocol -----------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end = time.perf_counter()
+        self.tracer._close(self)
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach attributes to an open span."""
+        self.attributes.update(attributes)
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end - self.start) * 1000.0
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk(self, depth: int = 0) -> Iterator[tuple["Span", int]]:
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+class _NullSpan:
+    """The shared do-nothing span the null tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def annotate(self, **attributes: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Default tracer: every span is the shared no-op singleton."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: object) -> _NullSpan:
+        return NULL_SPAN
+
+
+class Tracer:
+    """Recording tracer: builds a forest of spans in call order."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.origin = time.perf_counter()
+
+    def span(self, name: str, **attributes: object) -> Span:
+        return Span(self, name, attributes)
+
+    # -- span lifecycle (called by Span) -----------------------------------
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Tolerate exits out of order (an exception unwinding several
+        # spans): pop up to and including this span.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    # -- exporters ---------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[tuple[Span, int]]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def to_jsonlines(self) -> str:
+        """One JSON object per finished span, document order."""
+        lines = []
+        for span, depth in self.iter_spans():
+            lines.append(json.dumps({
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "depth": depth,
+                "start_ms": round((span.start - self.origin) * 1000.0, 3),
+                "duration_ms": round(span.duration_ms, 3),
+                "attrs": {key: _jsonable(value) for key, value in span.attributes.items()},
+            }))
+        return "\n".join(lines)
+
+    def write_jsonlines(self, stream: IO[str]) -> None:
+        text = self.to_jsonlines()
+        if text:
+            stream.write(text + "\n")
+
+    def format_tree(self) -> str:
+        """Indented human-readable rendering of the span forest."""
+        lines = []
+        for span, depth in self.iter_spans():
+            attrs = " ".join(f"{key}={value}" for key, value in span.attributes.items())
+            suffix = f"  [{attrs}]" if attrs else ""
+            lines.append(f"{'  ' * depth}{span.name}  {span.duration_ms:.2f} ms{suffix}")
+        return "\n".join(lines)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# -- the process-wide active tracer ----------------------------------------
+
+_NULL_TRACER = NullTracer()
+_tracer: object = _NULL_TRACER
+
+
+def get_tracer():
+    """The active tracer (the no-op singleton unless tracing is on)."""
+    return _tracer
+
+
+def set_tracer(tracer) -> object:
+    """Install a tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+class use_tracer:
+    """Context manager: install a tracer for a region, then restore."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._previous: Optional[object] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_tracer(self._previous)

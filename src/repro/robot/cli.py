@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from repro.config.options import Options
 from repro.core.linter import Weblint
+from repro.obs import use_registry
 from repro.robot.poacher import Poacher
 from repro.robot.traversal import TraversalPolicy
 from repro.www.client import UserAgent
@@ -50,6 +51,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip link validation (lint only)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-fetch failing URLs up to N extra times",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print crawl metrics (fetches, retries, per-URL latency) "
+        "to stderr after the report",
+    )
     return parser
 
 
@@ -65,18 +79,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     policy = TraversalPolicy(
         max_pages=args.max_pages,
         obey_robots_txt=not args.ignore_robots,
+        max_retries=args.retries,
     )
     poacher = Poacher(
         agent, weblint=Weblint(options=options), options=options, policy=policy
     )
-    report = poacher.crawl(args.start)
+    with use_registry() as registry:
+        report = poacher.crawl(args.start)
 
-    for line in report.summary_lines():
-        sys.stdout.write(line + "\n")
-    for page in report.pages:
-        for diagnostic in page.diagnostics:
-            sys.stdout.write(f"{diagnostic}\n")
+        for line in report.summary_lines():
+            sys.stdout.write(line + "\n")
+        for page in report.pages:
+            for diagnostic in page.diagnostics:
+                sys.stdout.write(f"{diagnostic}\n")
+        if args.stats:
+            _print_stats(registry, poacher.robot.stats, sys.stderr)
     return 1 if report.total_problems() else 0
+
+
+def _print_stats(registry, crawl_stats, stream) -> None:
+    stream.write("poacher stats:\n")
+    for line in registry.summary_lines(
+        defaults=("robot.pages.fetched", "robot.fetch.retries")
+    ):
+        stream.write(f"  {line}\n")
+    if crawl_stats.url_latency_ms:
+        stream.write("  per-URL fetch latency:\n")
+        for url, latency_ms in crawl_stats.url_latency_ms.items():
+            stream.write(f"    {url}: {latency_ms:.2f} ms\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

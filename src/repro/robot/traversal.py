@@ -9,10 +9,13 @@ the paper's poacher builds on the Perl robot module.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.site.links import extract_links
 from repro.www.client import FetchError, UserAgent
 from repro.www.message import Response
@@ -31,6 +34,7 @@ class TraversalPolicy:
     obey_robots_txt: bool = True
     follow_resources: bool = False  # also fetch img/script/... targets
     agent_name: str = "poacher-repro/2.0"
+    max_retries: int = 0  # re-fetch a failing URL this many extra times
 
 
 @dataclass
@@ -39,6 +43,10 @@ class CrawlStats:
     pages_failed: int = 0
     urls_skipped_robots: int = 0
     urls_skipped_offsite: int = 0
+    retries: int = 0
+    bytes_fetched: int = 0
+    #: wall time of the fetch (including retries), per requested URL.
+    url_latency_ms: dict[str, float] = field(default_factory=dict)
 
 
 class Robot:
@@ -94,56 +102,90 @@ class Robot:
         successfully fetched HTML page.  Returns the list of page URLs
         visited, in crawl order.
         """
+        registry = get_registry()
         start = urljoin(start_url, "")
         frontier: deque[str] = deque([str(start.without_fragment())])
         seen: set[str] = set(frontier)
         processed: set[str] = set()  # final URLs handed to on_page
         visited: list[str] = []
 
-        while frontier and self.stats.pages_fetched < self.policy.max_pages:
-            url = frontier.popleft()
-            parsed = urlparse(url)
+        with get_tracer().span("robot.crawl", start=start_url) as crawl_span:
+            while frontier and self.stats.pages_fetched < self.policy.max_pages:
+                url = frontier.popleft()
+                parsed = urlparse(url)
 
-            if self.policy.same_host_only and not parsed.same_host(start):
-                self.stats.urls_skipped_offsite += 1
-                continue
-            if not self.allowed(url):
-                self.stats.urls_skipped_robots += 1
-                continue
-
-            try:
-                response = self.agent.get(url)
-            except FetchError:
-                self.stats.pages_failed += 1
-                continue
-            if not response.ok:
-                self.stats.pages_failed += 1
-                continue
-
-            if response.url in processed:
-                # A redirect landed on a page already handled (or a page
-                # both linked directly and reached via redirect earlier).
-                continue
-            processed.add(response.url)
-            seen.add(response.url)
-            self.stats.pages_fetched += 1
-            visited.append(response.url)
-            if not response.is_html:
-                continue
-
-            links = extract_links(response.body)
-            if on_page is not None:
-                on_page(response.url, response, links)
-
-            for link in links:
-                if not link.checkable:
+                if self.policy.same_host_only and not parsed.same_host(start):
+                    self.stats.urls_skipped_offsite += 1
                     continue
-                if link.kind == "resource" and not self.policy.follow_resources:
+                if not self.allowed(url):
+                    self.stats.urls_skipped_robots += 1
                     continue
-                absolute = str(
-                    urljoin(response.url, link.url).without_fragment()
-                )
-                if absolute not in seen:
-                    seen.add(absolute)
-                    frontier.append(absolute)
+
+                response = self._fetch(url)
+                if response is None:
+                    self.stats.pages_failed += 1
+                    registry.inc("robot.fetch.failures")
+                    continue
+
+                if response.url in processed:
+                    # A redirect landed on a page already handled (or a page
+                    # both linked directly and reached via redirect earlier).
+                    continue
+                processed.add(response.url)
+                seen.add(response.url)
+                self.stats.pages_fetched += 1
+                self.stats.bytes_fetched += len(response.body)
+                registry.inc("robot.pages.fetched")
+                registry.inc("robot.fetch.bytes", len(response.body))
+                visited.append(response.url)
+                if not response.is_html:
+                    continue
+
+                links = extract_links(response.body)
+                if on_page is not None:
+                    on_page(response.url, response, links)
+
+                for link in links:
+                    if not link.checkable:
+                        continue
+                    if link.kind == "resource" and not self.policy.follow_resources:
+                        continue
+                    absolute = str(
+                        urljoin(response.url, link.url).without_fragment()
+                    )
+                    if absolute not in seen:
+                        seen.add(absolute)
+                        frontier.append(absolute)
+            crawl_span.annotate(pages=self.stats.pages_fetched)
         return visited
+
+    def _fetch(self, url: str):
+        """One URL, with up to ``policy.max_retries`` re-attempts.
+
+        Records the per-URL fetch latency (wall time across all
+        attempts) into ``stats.url_latency_ms`` and the
+        ``robot.fetch.latency_ms`` histogram; returns ``None`` when every
+        attempt failed.
+        """
+        registry = get_registry()
+        start = time.perf_counter()
+        response = None
+        try:
+            # A negative max_retries must still mean one attempt.
+            for attempt in range(max(0, self.policy.max_retries) + 1):
+                if attempt:
+                    self.stats.retries += 1
+                    registry.inc("robot.fetch.retries")
+                registry.inc("robot.fetch.requests")
+                try:
+                    candidate = self.agent.get(url)
+                except FetchError:
+                    continue
+                if candidate.ok:
+                    response = candidate
+                    break
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.stats.url_latency_ms[url] = elapsed_ms
+            registry.observe("robot.fetch.latency_ms", elapsed_ms)
+        return response

@@ -13,6 +13,7 @@ the division of labour the paper describes between ``-R`` and the robot.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
@@ -21,6 +22,8 @@ from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint
 from repro.site.links import Link, extract_anchor_names, extract_links
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.site.orphans import build_incoming_counts, find_orphans
 from repro.site.walker import find_html_files, has_index_file, iter_directories
 
@@ -90,22 +93,29 @@ class SiteChecker:
     def check_directory(self, root: Union[str, Path]) -> SiteReport:
         root = Path(root)
         report = SiteReport(root=str(root))
-        files = find_html_files(root)
-        page_links: dict[str, list[Link]] = {}
+        registry = get_registry()
+        tracer = get_tracer()
+        start = time.perf_counter()
+        with tracer.span("site.check", root=str(root)):
+            files = find_html_files(root)
+            page_links: dict[str, list[Link]] = {}
 
-        for path in files:
-            relative = _relative_name(path, root)
-            report.pages.append(relative)
-            report.page_diagnostics[relative] = self.weblint.check_file(path)
-            try:
-                source = path.read_text(encoding="utf-8", errors="replace")
-            except OSError:
-                source = ""
-            page_links[relative] = extract_links(source)
+            for path in files:
+                relative = _relative_name(path, root)
+                report.pages.append(relative)
+                report.page_diagnostics[relative] = self.weblint.check_file(path)
+                registry.inc("site.files.checked")
+                try:
+                    source = path.read_text(encoding="utf-8", errors="replace")
+                except OSError:
+                    source = ""
+                page_links[relative] = extract_links(source)
 
-        self._check_directory_indexes(root, report)
-        self._check_local_links(root, report, page_links)
-        self._check_orphans(root, report, page_links)
+            with tracer.span("site.analyses", pages=len(files)):
+                self._check_directory_indexes(root, report)
+                self._check_local_links(root, report, page_links)
+                self._check_orphans(root, report, page_links)
+        registry.observe("site.check_ms", (time.perf_counter() - start) * 1000.0)
         return report
 
     # -- site-level checks ----------------------------------------------------------
@@ -125,6 +135,7 @@ class SiteChecker:
         diagnostic = Diagnostic.build(
             message_id, line=line, filename=filename, **arguments
         )
+        get_registry().inc(f"site.diagnostics.{diagnostic.category.value}")
         if attach_to is not None:
             report.page_diagnostics.setdefault(attach_to, []).append(diagnostic)
         else:

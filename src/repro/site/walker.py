@@ -1,34 +1,75 @@
-"""Filesystem walking for the -R site check."""
+"""Filesystem walking for the -R site check.
+
+Contract (shared by :func:`find_html_files` and :func:`iter_directories`,
+and relied on by :class:`~repro.site.sitecheck.SiteChecker`):
+
+- A *file* root is the degenerate one-page site: ``find_html_files``
+  returns ``[root]`` and ``iter_directories`` yields nothing (a file has
+  no directories to index-check).
+- A missing root behaves like an empty site: both return/yield nothing
+  rather than raising.
+- Unreadable directories are *skipped*, never fatal: one permission
+  error must not abort a whole-site check mid-walk.
+- Results are sorted, so reports are deterministic across filesystems.
+"""
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Iterator
 
 from repro.core import constants
+from repro.obs.metrics import get_registry
+
+
+def _walk(root: Path) -> Iterator[tuple[Path, list[str], list[str]]]:
+    """``os.walk`` with unreadable directories skipped, sorted entries."""
+    for dirpath, dirnames, filenames in os.walk(root, onerror=lambda _error: None):
+        dirnames.sort()
+        yield Path(dirpath), dirnames, sorted(filenames)
 
 
 def find_html_files(root: Path | str) -> list[Path]:
-    """All HTML files under ``root``, sorted for deterministic reports."""
+    """All HTML files under ``root``, sorted for deterministic reports.
+
+    See the module docstring for the file/missing/unreadable contract.
+    """
     root = Path(root)
     if root.is_file():
         return [root]
-    files = [
-        path
-        for path in root.rglob("*")
-        if path.is_file() and path.suffix.lower() in constants.HTML_EXTENSIONS
-    ]
-    return sorted(files)
+    files: list[Path] = []
+    for directory, _subdirs, filenames in _walk(root):
+        for filename in filenames:
+            path = directory / filename
+            if path.suffix.lower() in constants.HTML_EXTENSIONS:
+                try:
+                    if not path.is_file():  # broken symlinks and friends
+                        continue
+                except OSError:
+                    continue
+                files.append(path)
+    files.sort()
+    get_registry().inc("site.files.discovered", len(files))
+    return files
 
 
 def iter_directories(root: Path | str) -> Iterator[Path]:
-    """``root`` and every directory below it, sorted."""
+    """``root`` and every directory below it, sorted.
+
+    Yields nothing when ``root`` is a file or does not exist (see the
+    module docstring); unreadable subtrees are skipped.
+    """
     root = Path(root)
     if not root.is_dir():
         return
     yield root
-    for path in sorted(p for p in root.rglob("*") if p.is_dir()):
-        yield path
+    subdirectories = [
+        directory / name
+        for directory, names, _files in _walk(root)
+        for name in names
+    ]
+    yield from sorted(subdirectories)
 
 
 def has_index_file(directory: Path, index_filenames: tuple[str, ...]) -> bool:

@@ -15,7 +15,11 @@ generates an equivalent deterministically:
   and sites.
 """
 
-from repro.workload.corpus import build_seeded_corpus, build_valid_corpus
+from repro.workload.corpus import (
+    build_pathological_corpus,
+    build_seeded_corpus,
+    build_valid_corpus,
+)
 from repro.workload.generator import GeneratorConfig, PageGenerator
 from repro.workload.seeder import ErrorSeeder, Mutation, SeededPage
 
@@ -27,4 +31,5 @@ __all__ = [
     "SeededPage",
     "build_valid_corpus",
     "build_seeded_corpus",
+    "build_pathological_corpus",
 ]

@@ -39,6 +39,26 @@ def build_seeded_corpus(
     return corpus
 
 
+def build_pathological_corpus(
+    n_pages: int,
+    seed: int = 0,
+    table_depth: int = 12,
+    unclosed_tags: int = 8,
+) -> list[str]:
+    """``n_pages`` worst-case pages (deep tables, unclosed tags).
+
+    The profiling corpus: seed-stable like :func:`build_valid_corpus`,
+    but built from :meth:`PageGenerator.pathological_page` so slow-rule
+    detection has something to chew on.
+    """
+    return [
+        PageGenerator(seed=seed + index).pathological_page(
+            table_depth=table_depth, unclosed_tags=unclosed_tags
+        )
+        for index in range(n_pages)
+    ]
+
+
 def build_site(
     n_pages: int,
     seed: int = 0,

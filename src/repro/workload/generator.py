@@ -161,6 +161,48 @@ class PageGenerator:
             "</body>\n</html>\n"
         )
 
+    def pathological_page(
+        self,
+        table_depth: int = 12,
+        unclosed_tags: int = 8,
+        paragraphs: int = 20,
+    ) -> str:
+        """A deliberately nasty page: the profiling tests' workload.
+
+        Seed-stable like :meth:`page`, but the opposite of default-clean:
+        deeply nested tables (each level a new open TABLE/TR/TD), a run
+        of never-closed inline and container tags, odd quotes, and bare
+        metacharacters.  Slow rules (and the cascade heuristics) have to
+        work hardest on exactly this shape, so ``--profile`` runs over a
+        pathological corpus actually have something to find.
+        """
+        blocks: list[str] = [f"<h1>{self.title()}</h1>"]
+        # Deeply nested tables: every level opens TABLE/TR/TD and only
+        # the innermost cell carries text; nothing is closed until the
+        # very end -- a worst case for the stack machine.
+        for level in range(table_depth):
+            blocks.append(
+                f'<table border="1" summary="level {level}"><tr><td>'
+            )
+        blocks.append(self.sentence())
+        for _ in range(table_depth):
+            blocks.append("</td></tr></table>")
+        # Unclosed containers and inline tags, interleaved with text so
+        # each one accumulates content (and eventually an overlap).
+        unclosed_pool = ("b", "i", "em", "strong", "tt", "blockquote", "pre", "a")
+        for index in range(unclosed_tags):
+            name = unclosed_pool[index % len(unclosed_pool)]
+            attr = ' href="page.html' if name == "a" else ""  # odd quotes
+            blocks.append(f"<{name}{attr}>{self.sentence()}")
+        for _ in range(paragraphs):
+            # Bare metacharacters and unquoted values in every paragraph.
+            blocks.append(
+                f"<p>{self.sentence()} 1 < 2 > 0 "
+                f'<img src=figure.gif>{self.sentence()}'
+            )
+        body = "\n".join(blocks)
+        return f"<html>\n<head>\n<title>{self.title()}</title>\n</head>\n<body>\n{body}\n</body>\n</html>\n"
+
     def site(
         self,
         n_pages: int,

@@ -9,8 +9,10 @@ on.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
+from repro.obs.metrics import get_registry
 from repro.www.message import Request, Response
 from repro.www.url import urljoin, urlparse
 
@@ -59,11 +61,14 @@ class UserAgent:
                 "this UserAgent has no web attached; pass a VirtualWeb "
                 "(live network access is substituted in this reproduction)"
             )
+        registry = get_registry()
         url = str(urlparse(url).normalised().without_fragment())
         cache_key = (method.upper(), url)
         if self._cache is not None and cache_key in self._cache:
+            registry.inc("www.cache.hits")
             return self._cache[cache_key]
 
+        start = time.perf_counter()
         seen: list[str] = []
         current = url
         response = None
@@ -90,6 +95,13 @@ class UserAgent:
             body=response.body,
             headers=response.headers,
             redirects=tuple(seen[:-1]),
+        )
+        registry.inc("www.requests")
+        if len(seen) > 1:
+            registry.inc("www.redirects", len(seen) - 1)
+        registry.inc("www.bytes_fetched", len(final.body))
+        registry.observe(
+            "www.fetch.latency_ms", (time.perf_counter() - start) * 1000.0
         )
         if self._cache is not None:
             self._cache[cache_key] = final

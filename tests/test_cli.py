@@ -168,6 +168,82 @@ class TestWeblintCli:
         assert "STRONG" in capsys.readouterr().out
 
 
+class TestWeblintObservabilityCli:
+    def test_stats_summary_on_stderr(self, example_file, clean_file, capsys):
+        assert weblint_main(
+            ["--no-config", "--stats", str(example_file), str(clean_file)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "weblint stats:" in err
+        assert "lint.files: 2" in err
+        assert "lint.diagnostics.error:" in err
+        assert "lint.diagnostics.warning:" in err
+        assert "total wall time:" in err
+
+    def test_stats_reports_zero_on_clean_run(self, clean_file, capsys):
+        weblint_main(["--no-config", "--stats", str(clean_file)])
+        err = capsys.readouterr().err
+        # Named defaults appear even when nothing incremented them.
+        assert "lint.diagnostics.error: 0" in err
+
+    def test_stats_is_per_invocation(self, example_file, capsys):
+        weblint_main(["--no-config", "--stats", str(example_file)])
+        weblint_main(["--no-config", "--stats", str(example_file)])
+        err = capsys.readouterr().err
+        # Two runs, each reporting only its own file -- never "lint.files: 2".
+        assert err.count("lint.files: 1") == 2
+
+    def test_profile_report(self, example_file, capsys):
+        weblint_main(["--no-config", "--profile", str(example_file)])
+        err = capsys.readouterr().err
+        assert "rule profile (1 document(s) checked)" in err
+        assert "calls" in err and "total ms" in err
+        assert "heading-mismatch" in err
+
+    def test_trace_file_is_parseable_jsonlines(
+        self, example_file, tmp_path, capsys
+    ):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        weblint_main(
+            ["--no-config", "--trace", str(trace_path), str(example_file)]
+        )
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert records, "trace file is empty"
+        by_name = {record["name"]: record for record in records}
+        root = by_name["lint.file"]
+        assert root["parent"] is None
+        assert by_name["engine.dispatch"]["parent"] == root["id"]
+        assert by_name["engine.dispatch"]["depth"] == 1
+
+    def test_trace_dash_writes_tree_to_stderr(self, example_file, capsys):
+        weblint_main(["--no-config", "--trace", "-", str(example_file)])
+        err = capsys.readouterr().err
+        assert "lint.file" in err
+        assert "engine.tokenize" in err
+
+    def test_stats_reporter_format(self, example_file, capsys):
+        import json
+
+        weblint_main(["--no-config", "-f", "stats", str(example_file)])
+        data = json.loads(capsys.readouterr().out)
+        assert data["diagnostics"]["total"] == 7
+        assert data["metrics"]["lint.files"] == 1
+
+    def test_recurse_with_stats_counts_site_metrics(self, tmp_path, capsys):
+        (tmp_path / "index.html").write_text(
+            make_document('<p><a href="missing.html">gone</a></p>')
+        )
+        weblint_main(["--no-config", "-R", "--stats", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert "site.files.checked: 1" in err
+        assert "site.diagnostics.error: 1" in err
+
+
 class TestPoacherCli:
     def test_crawl_directory(self, tmp_path, capsys):
         site = PageGenerator(seed=9, ).site(3)
@@ -194,6 +270,18 @@ class TestPoacherCli:
         code = poacher_main([str(tmp_path), "--no-links"])
         assert code == 0
         assert "0 broken link(s)" in capsys.readouterr().out
+
+    def test_stats_flag(self, tmp_path, capsys):
+        site = PageGenerator(seed=9).site(2)
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        poacher_main([str(tmp_path), "--no-links", "--stats"])
+        err = capsys.readouterr().err
+        assert "poacher stats:" in err
+        assert "robot.pages.fetched: 2" in err
+        assert "robot.fetch.retries: 0" in err
+        assert "per-URL fetch latency:" in err
+        assert "http://localhost/index.html:" in err
 
 
 class TestGatewayCli:

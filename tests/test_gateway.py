@@ -168,6 +168,16 @@ class TestGateway:
         response = Gateway().handle(_form(html=make_document("<p>x</p>")))
         assert "Page weight" in response.body
 
+    def test_stats_table_off_by_default(self):
+        response = Gateway().handle(_form(html=PAPER_EXAMPLE))
+        assert "Checker statistics" not in response.body
+
+    def test_stats_table_when_requested(self):
+        response = Gateway().handle(_form(html=PAPER_EXAMPLE, stats="1"))
+        assert "Checker statistics" in response.body
+        assert "lint.files" in response.body
+        assert "tokenizer.tokens" in response.body
+
     def test_cgi_headers(self):
         response = Gateway().handle(_form(html=make_document("<p>x</p>")))
         cgi = response.as_cgi()
