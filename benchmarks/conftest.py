@@ -48,25 +48,54 @@ def record_result(name: str, **values: object) -> None:
     _BENCH_RESULTS[name] = dict(values)
 
 
+#: Results the dispatch benchmark (E14) records for BENCH_dispatch.json.
+_DISPATCH_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_dispatch_result(name: str, **values: object) -> None:
+    """Record one compiled-vs-naive dispatch measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_dispatch.json``
+    carries only the before/after numbers for the dispatch pipeline
+    (E10-style throughput, tokens/sec, hook-call counts).
+    """
+    _DISPATCH_RESULTS[name] = dict(values)
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
     """Emit ``BENCH_obs.json`` so every benchmark run leaves a snapshot.
 
     The file pairs the recorded throughput numbers with the metrics the
     obs layer accumulated during the run (documents, tokens, bytes,
     latency histograms ...), giving the bench trajectory one artefact
-    per run from this PR onward.
+    per run from this PR onward.  When the dispatch benchmark ran,
+    ``BENCH_dispatch.json`` is written beside it with the compiled
+    vs naive before/after numbers.
     """
+    root = Path(str(session.config.rootpath))
     payload = {
         "generated_unix": round(time.time(), 3),
         "exit_status": int(exitstatus),
         "results": _BENCH_RESULTS,
         "metrics": get_registry().snapshot(),
     }
-    path = Path(str(session.config.rootpath)) / "BENCH_obs.json"
     try:
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        (root / "BENCH_obs.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     except OSError:  # pragma: no cover - read-only checkout
         pass
+    if _DISPATCH_RESULTS:
+        dispatch_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _DISPATCH_RESULTS,
+        }
+        try:
+            (root / "BENCH_dispatch.json").write_text(
+                json.dumps(dispatch_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
 
 
 def print_table(title: str, rows: list[tuple], headers: tuple) -> None:

@@ -74,6 +74,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable a message id or category (repeatable, comma-separated)",
     )
     parser.add_argument(
+        "--enable-rule",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="enable a rule by registry name (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--disable-rule",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable a rule by registry name (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rule names and exit",
+    )
+    parser.add_argument(
         "-x", "--extension",
         metavar="SPEC",
         help=f"HTML version / vendor extension ({', '.join(available_specs())})",
@@ -161,6 +180,36 @@ def _list_messages(stream) -> None:
         )
 
 
+def _list_rules(registry, stream) -> None:
+    stream.write(f"{'rule':16} {'default':8} description\n")
+    for registration in registry.registrations():
+        stream.write(
+            f"{registration.name:16} "
+            f"{'on' if registration.enabled else 'off':8} "
+            f"{registration.description}\n"
+        )
+
+
+def _build_registry(args: argparse.Namespace):
+    """The rule registry with --enable-rule/--disable-rule applied."""
+    from repro.core.registry import RegistryError, default_registry
+
+    registry = default_registry()
+    for chunk in args.disable_rule:
+        for name in (part for part in chunk.split(",") if part):
+            try:
+                registry.disable(name)
+            except RegistryError as exc:
+                raise UnknownMessageError(str(exc)) from exc
+    for chunk in args.enable_rule:
+        for name in (part for part in chunk.split(",") if part):
+            try:
+                registry.enable(name)
+            except RegistryError as exc:
+                raise UnknownMessageError(str(exc)) from exc
+    return registry
+
+
 def _build_options(args: argparse.Namespace) -> Options:
     if args.no_config:
         options = Options.with_defaults()
@@ -220,13 +269,20 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         return constants.EXIT_CLEAN
 
     try:
+        registry = _build_registry(args)
         options = _build_options(args)
     except (ConfigError, UnknownMessageError, ValueError) as exc:
         err.write(f"weblint: {exc}\n")
         return constants.EXIT_USAGE
 
+    if args.list_rules:
+        _list_rules(registry, out)
+        return constants.EXIT_CLEAN
+
     try:
-        weblint = Weblint(options=options, reporter=_pick_reporter(args))
+        weblint = Weblint(
+            options=options, reporter=_pick_reporter(args), registry=registry
+        )
     except KeyError as exc:
         err.write(f"weblint: {exc}\n")
         return constants.EXIT_USAGE

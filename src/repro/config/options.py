@@ -82,6 +82,36 @@ class Options:
         )
         return clone
 
+    def fingerprint(self) -> tuple:
+        """Hashable digest of every semantic field.
+
+        The dispatch layer caches compiled tables per
+        ``(spec, options-fingerprint, ruleset)``; two Options with equal
+        fingerprints must behave identically for every rule, so *all*
+        fields participate, not just the ones known to affect
+        subscriptions today.
+        """
+        return (
+            frozenset(self.enabled),
+            self.spec_name,
+            self.short_format,
+            self.verbose,
+            self.recurse,
+            self.follow_links,
+            self.max_title_length,
+            tuple(self.index_filenames),
+            frozenset(self.extra_here_words),
+            frozenset(self.custom_elements),
+            tuple(
+                sorted(
+                    (name, frozenset(values))
+                    for name, values in self.custom_attributes.items()
+                )
+            ),
+            self.case_style,
+            self.stop_after,
+        )
+
     # -- message enablement -----------------------------------------------------
 
     def is_enabled(self, message_id: str) -> bool:

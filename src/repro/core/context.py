@@ -95,6 +95,13 @@ class CheckContext:
         # metrics registry (engine.stack.high_water) after the check.
         self.stack_high_water = 0
 
+        # Dispatch bookkeeping: the profiler active for this check
+        # (resolved once at construction, so profiling state is
+        # per-invocation) and the rule-hook invocation count that feeds
+        # the engine.dispatch.calls metric.
+        self.profiler = get_profiler()
+        self.hook_calls = 0
+
     # -- emission ----------------------------------------------------------------
 
     def emit(self, message_id: str, *, line: int, column: int = 0, **arguments: object) -> bool:
@@ -119,9 +126,8 @@ class CheckContext:
                 **arguments,
             )
         )
-        profiler = get_profiler()
-        if profiler is not None:
-            profiler.note_message(message_id)
+        if self.profiler is not None:
+            self.profiler.note_message(message_id)
         return True
 
     # -- inline configuration ------------------------------------------------------

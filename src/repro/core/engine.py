@@ -14,7 +14,20 @@ Paper section 5.1, almost line for line:
 
 The engine owns the two stacks and the structural messages that depend on
 them (unclosed / overlapped / mismatched / out-of-context elements);
-everything else is delegated to the pluggable rules.
+everything else is delegated to the pluggable rules, reached through a
+compiled :class:`~repro.core.dispatch.DispatchTable`: rules declare which
+hooks -- and, for tag hooks, which element names -- they care about, and
+the engine performs one dict lookup per tag instead of invoking every
+rule for every token.  Tokens are consumed from the tokenizer's streaming
+:func:`~repro.html.tokenizer.iter_tokens` feed, so a document is never
+materialised as a full token list.
+
+``Engine.check`` is reentrancy-safe: no engine-level state is mutated
+during a check (the dispatch table is immutable and cached, vendor spec
+tables are built at construction, profiling state lives on the
+per-invocation :class:`~repro.core.context.CheckContext`), so a rule
+hook may itself call ``check`` on the same engine, and interleaved
+checks do not corrupt one another.
 
 Cascade suppression heuristics (the "ad-hoc aspects ... provided in an
 effort to minimise the number of warning cascades"):
@@ -41,13 +54,13 @@ from typing import Optional, Sequence
 
 from repro.config.options import Options
 from repro.core.context import CheckContext, OpenElement
+from repro.core.dispatch import DispatchTable, get_table
 from repro.core.rules import default_rules
-from repro.core.rules.base import Rule, wrap_rules
+from repro.core.rules.base import Rule
 from repro.obs.metrics import get_registry
-from repro.obs.profile import get_profiler
 from repro.obs.trace import get_tracer
 from repro.html.spec import ElementDef, HTMLSpec, get_spec
-from repro.html.tokenizer import tokenize
+from repro.html.tokenizer import iter_tokens
 from repro.html.tokens import (
     Comment,
     Declaration,
@@ -56,7 +69,6 @@ from repro.html.tokens import (
     ProcessingInstruction,
     StartTag,
     Text,
-    Token,
 )
 
 _HEADINGS = frozenset({"h1", "h2", "h3", "h4", "h5", "h6"})
@@ -85,73 +97,91 @@ class Engine:
         options: Optional[Options] = None,
         rules: Optional[Sequence[Rule]] = None,
         cascade_heuristics: bool = True,
+        naive_dispatch: bool = False,
     ) -> None:
         self.options = options if options is not None else Options.with_defaults()
         self.spec = spec if spec is not None else get_spec(self.options.spec_name)
         self.rules: list[Rule] = list(rules) if rules is not None else default_rules()
         self.cascade_heuristics = cascade_heuristics
-        # Vendor specs for "X is Netscape/Microsoft specific" -- loaded
-        # lazily, and not consulted when already checking a vendor spec.
-        self._vendor_specs: Optional[list[tuple[str, set[str]]]] = None
+        #: Call every rule for every event, ignoring subscriptions.  The
+        #: escape hatch behind the golden equivalence test and the
+        #: before/after dispatch benchmark -- not a production mode.
+        self.naive_dispatch = naive_dispatch
+        # Vendor specs for "X is Netscape/Microsoft specific" -- built
+        # eagerly so no engine state mutates during a check, and not
+        # consulted when already checking a vendor spec.
+        self._vendor_specs: list[tuple[str, frozenset[str]]] = []
+        standard = set(get_spec("html40").elements)
+        for vendor in ("netscape", "microsoft"):
+            if self.spec.name != vendor:
+                vendor_only = frozenset(set(get_spec(vendor).elements) - standard)
+                self._vendor_specs.append((vendor, vendor_only))
 
     # -- public API ------------------------------------------------------------
+
+    def dispatch_table(self) -> DispatchTable:
+        """The compiled (cached) table for this engine's configuration."""
+        return get_table(
+            self.spec, self.options, tuple(self.rules), naive=self.naive_dispatch
+        )
 
     def check(self, source: str, filename: str = "-") -> CheckContext:
         """Run the stack machine over ``source``; returns the context."""
         tracer = get_tracer()
-        profiler = get_profiler()
-        previous_rules = self.rules
-        if profiler is not None:
-            # Dispatch goes through self.rules; swap in timing shims for
-            # the duration of this check only.
-            profiler.note_document()
-            self.rules = wrap_rules(self.rules, profiler)
-
+        with tracer.span("engine.tokenize", file=filename):
+            # The streaming feed does its scanning lazily, interleaved
+            # with dispatch; this span records stream + table setup (the
+            # scan itself lands inside engine.dispatch).
+            tokens = iter_tokens(source)
+            table = self.dispatch_table()
         context = CheckContext(self.spec, self.options, filename)
-        try:
-            with tracer.span("engine.tokenize", file=filename):
-                tokens = tokenize(source)
-            with tracer.span("engine.dispatch", file=filename, tokens=len(tokens)):
-                for rule in self.rules:
-                    rule.start_document(context)
-                for token in tokens:
-                    context.last_line = token.line
-                    self._dispatch(context, token)
-            with tracer.span("engine.finish", file=filename):
-                self._finish(context)
-                for rule in self.rules:
-                    rule.end_document(context)
-        finally:
-            self.rules = previous_rules
+        if context.profiler is not None:
+            context.profiler.note_document()
+        run_hooks = table.run_hooks
+
+        with tracer.span("engine.dispatch", file=filename) as span:
+            run_hooks(table.start_document, context)
+            token_count = 0
+            for token in tokens:
+                token_count += 1
+                context.last_line = token.line
+                self._dispatch(context, token, table)
+            span.annotate(tokens=token_count)
+        with tracer.span("engine.finish", file=filename):
+            self._finish(context, table)
+            run_hooks(table.end_document, context)
 
         registry = get_registry()
         registry.inc("engine.documents")
+        registry.inc("engine.dispatch.calls", context.hook_calls)
         registry.gauge_max("engine.stack.high_water", context.stack_high_water)
         return context
 
     # -- dispatch ----------------------------------------------------------------
 
-    def _dispatch(self, context: CheckContext, token: Token) -> None:
+    def _dispatch(
+        self, context: CheckContext, token, table: DispatchTable
+    ) -> None:
         if isinstance(token, StartTag):
-            self._start_tag(context, token)
+            self._start_tag(context, token, table)
         elif isinstance(token, EndTag):
-            self._end_tag(context, token)
+            self._end_tag(context, token, table)
         elif isinstance(token, Text):
-            self._text(context, token)
+            self._text(context, token, table)
         elif isinstance(token, Comment):
-            for rule in self.rules:
-                rule.handle_comment(context, token)
+            table.run_hooks(table.comment, context, token)
         elif isinstance(token, Declaration):
             if token.is_doctype and not context.seen_any_element:
                 context.seen_doctype = True
-            for rule in self.rules:
-                rule.handle_declaration(context, token)
+            table.run_hooks(table.declaration, context, token)
         elif isinstance(token, ProcessingInstruction):
             pass  # tolerated, never checked
 
     # -- start tags ---------------------------------------------------------------
 
-    def _start_tag(self, context: CheckContext, tag: StartTag) -> None:
+    def _start_tag(
+        self, context: CheckContext, tag: StartTag, table: DispatchTable
+    ) -> None:
         name = tag.lowered
         if not name:
             return
@@ -159,7 +189,7 @@ class Engine:
 
         # Lexical anomalies attached to the tag by the tokenizer.
         if tag.has_issue(LexicalIssue.WHITESPACE_AFTER_LT):
-            context.emit("leading-whitespace", line=line, element=tag.name)
+            context.emit("leading-whitespace", line=line, element=tag.name.upper())
         if tag.has_issue(LexicalIssue.ODD_QUOTES):
             context.emit("odd-quotes", line=line, tag=_tag_excerpt(tag))
         if tag.has_issue(LexicalIssue.UNCLOSED_TAG):
@@ -175,7 +205,7 @@ class Engine:
         if elem is not None and elem.closes:
             while context.stack and context.stack[-1].name in elem.closes:
                 closed = context.stack.pop()
-                self._element_closed(context, closed, None, implicit=True)
+                self._element_closed(context, closed, None, True, table)
 
         # This tag is content for whatever is now open.
         context.note_child()
@@ -207,8 +237,10 @@ class Engine:
             )
             context.push(open_element)
 
-        for rule in self.rules:
-            rule.handle_start_tag(context, tag, elem)
+        handlers = table.start_tag.get(name)
+        if handlers is None:
+            handlers = table.start_tag_any
+        table.run_hooks(handlers, context, tag, elem)
 
     def _resolve_element(
         self, context: CheckContext, tag: StartTag
@@ -247,13 +279,6 @@ class Engine:
         vendor spec but not in standard HTML 4.0 -- SPAN under an HTML
         3.2 check is "too new", not "Netscape specific".
         """
-        if self._vendor_specs is None:
-            self._vendor_specs = []
-            standard = set(get_spec("html40").elements)
-            for vendor in ("netscape", "microsoft"):
-                if self.spec.name != vendor:
-                    vendor_only = set(get_spec(vendor).elements) - standard
-                    self._vendor_specs.append((vendor, vendor_only))
         for vendor, vendor_only in self._vendor_specs:
             if name in vendor_only:
                 return vendor
@@ -347,7 +372,9 @@ class Engine:
 
     # -- end tags --------------------------------------------------------------------
 
-    def _end_tag(self, context: CheckContext, tag: EndTag) -> None:
+    def _end_tag(
+        self, context: CheckContext, tag: EndTag, table: DispatchTable
+    ) -> None:
         name = tag.lowered
         if not name:
             return
@@ -358,8 +385,10 @@ class Engine:
         if tag.has_issue(LexicalIssue.UNCLOSED_TAG):
             context.emit("unterminated-tag", line=line, element="/" + tag.name)
 
-        for rule in self.rules:
-            rule.handle_end_tag(context, tag)
+        handlers = table.end_tag.get(name)
+        if handlers is None:
+            handlers = table.end_tag_any
+        table.run_hooks(handlers, context, tag)
 
         if name == "head":
             context.seen_head_close = True
@@ -378,7 +407,7 @@ class Engine:
                     close_heading=tag.name.upper(),
                 )
                 closed = context.stack.pop()
-                self._element_closed(context, closed, tag, implicit=False)
+                self._element_closed(context, closed, tag, False, table)
                 return
 
         if elem is not None and elem.empty:
@@ -387,7 +416,7 @@ class Engine:
 
         index = context.find_open(name)
         if index == -1:
-            self._unmatched_end_tag(context, tag, elem)
+            self._unmatched_end_tag(context, tag, elem, table)
             return
 
         # Unwind everything above the match, then close the match itself.
@@ -395,17 +424,21 @@ class Engine:
         skipped = context.stack[index + 1 :]
         del context.stack[index:]
         for entry in reversed(skipped):
-            self._skipped_element(context, tag, elem, entry)
-        self._element_closed(context, matched, tag, implicit=False)
+            self._skipped_element(context, tag, elem, entry, table)
+        self._element_closed(context, matched, tag, False, table)
 
     def _unmatched_end_tag(
-        self, context: CheckContext, tag: EndTag, elem: Optional[ElementDef]
+        self,
+        context: CheckContext,
+        tag: EndTag,
+        elem: Optional[ElementDef],
+        table: DispatchTable,
     ) -> None:
         name = tag.lowered
         unresolved_index = context.find_unresolved(name)
         if unresolved_index != -1:
             entry = context.unresolved.pop(unresolved_index)
-            self._element_closed(context, entry, tag, implicit=False)
+            self._element_closed(context, entry, tag, False, table)
             return
         if elem is None and not context.options.is_custom_element(name):
             suggestion = ""
@@ -428,11 +461,12 @@ class Engine:
         tag: EndTag,
         closing_elem: Optional[ElementDef],
         entry: OpenElement,
+        table: DispatchTable,
     ) -> None:
         """Handle one element skipped over by an end tag deeper in the stack."""
         name = tag.lowered
         if entry.elem is None or entry.elem.optional_end:
-            self._element_closed(context, entry, tag, implicit=True)
+            self._element_closed(context, entry, tag, True, table)
             return
         parental = (
             entry.elem.allowed_in is not None and name in entry.elem.allowed_in
@@ -452,7 +486,7 @@ class Engine:
                 element=entry.name.upper(),
                 open_line=entry.line,
             )
-            self._element_closed(context, entry, tag, implicit=True)
+            self._element_closed(context, entry, tag, True, table)
         else:
             context.emit(
                 "overlapped-element",
@@ -465,7 +499,7 @@ class Engine:
             if self.cascade_heuristics:
                 context.unresolved.append(entry)
             else:
-                self._element_closed(context, entry, tag, implicit=True)
+                self._element_closed(context, entry, tag, True, table)
 
     # -- shared close path ------------------------------------------------------------
 
@@ -475,6 +509,7 @@ class Engine:
         entry: OpenElement,
         end_tag: Optional[EndTag],
         implicit: bool,
+        table: DispatchTable,
     ) -> None:
         if (
             not implicit
@@ -485,21 +520,24 @@ class Engine:
         ):
             line = end_tag.line if end_tag is not None else entry.line
             context.emit("empty-container", line=line, element=entry.name.upper())
-        for rule in self.rules:
-            rule.handle_element_closed(context, entry, end_tag, implicit)
+        handlers = table.element_closed.get(entry.name)
+        if handlers is None:
+            handlers = table.element_closed_any
+        table.run_hooks(handlers, context, entry, end_tag, implicit)
 
     # -- text -----------------------------------------------------------------------------
 
-    def _text(self, context: CheckContext, token: Text) -> None:
+    def _text(
+        self, context: CheckContext, token: Text, table: DispatchTable
+    ) -> None:
         if token.has_issue(LexicalIssue.EMPTY_TAG):
             context.emit("empty-tag", line=token.line)
         context.note_text(token.text)
-        for rule in self.rules:
-            rule.handle_text(context, token)
+        table.run_hooks(table.text, context, token)
 
     # -- end of document ---------------------------------------------------------------------
 
-    def _finish(self, context: CheckContext) -> None:
+    def _finish(self, context: CheckContext, table: DispatchTable) -> None:
         while context.stack:
             entry = context.stack.pop()
             if entry.elem is not None and entry.elem.strict_container:
@@ -509,7 +547,7 @@ class Engine:
                     element=entry.name.upper(),
                     open_line=entry.line,
                 )
-            self._element_closed(context, entry, None, implicit=True)
+            self._element_closed(context, entry, None, True, table)
         while context.unresolved:
             entry = context.unresolved.pop()
-            self._element_closed(context, entry, None, implicit=True)
+            self._element_closed(context, entry, None, True, table)

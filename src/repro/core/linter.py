@@ -32,6 +32,7 @@ from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
 from repro.core.engine import Engine
 from repro.core.messages import Category
+from repro.core.registry import RuleRegistry
 from repro.core.reporter import LintReporter, Reporter, ShortReporter
 from repro.core.rules.base import Rule
 from repro.html.spec import HTMLSpec, get_spec
@@ -53,16 +54,22 @@ class Weblint:
         rules: Optional[Sequence[Rule]] = None,
         reporter: Optional[Reporter] = None,
         cascade_heuristics: bool = True,
+        registry: Optional[RuleRegistry] = None,
+        naive_dispatch: bool = False,
     ) -> None:
         self.options = options if options is not None else Options.with_defaults()
         if isinstance(spec, str):
             spec = get_spec(spec)
         self.spec = spec if spec is not None else get_spec(self.options.spec_name)
+        self.registry = registry
+        if rules is None and registry is not None:
+            rules = registry.rules()
         self._engine = Engine(
             spec=self.spec,
             options=self.options,
             rules=rules,
             cascade_heuristics=cascade_heuristics,
+            naive_dispatch=naive_dispatch,
         )
         if reporter is None:
             reporter = ShortReporter() if self.options.short_format else LintReporter()

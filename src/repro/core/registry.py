@@ -1,0 +1,276 @@
+"""The named rule registry.
+
+The paper's weblint 2 exists because version 1's "one big loop that every
+check lives inside" stopped scaling; the registry is the repro's answer
+on the rules axis.  Instead of a hard-coded list (with a special case
+for the plugin rule), every check is *registered* under a stable name
+with optional ordering constraints, and front-ends (CLI ``--list-rules``
+/ ``--enable-rule`` / ``--disable-rule``, :class:`~repro.core.linter.Weblint`,
+the gateway, ``sitecheck`` and ``poacher``) consume the registry.
+
+Registrations hold *factories*, not instances: each call to
+:meth:`RuleRegistry.rules` builds a fresh rule set, matching the old
+``default_rules()`` contract, while the registry itself stays immutable
+configuration.
+
+Ordering
+--------
+
+The baseline order is registration order.  ``before=`` / ``after=``
+constraints adjust it via a stable topological sort, so a third-party
+rule can say "run me after inline-config" without knowing the whole
+list.  Constraints naming unregistered rules are ignored (a site config
+must not break when an optional rule is absent); cycles raise
+:class:`RegistryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Optional
+
+from repro.core.rules.base import Rule
+
+
+class RegistryError(ValueError):
+    """Invalid registry operation: duplicate name, unknown rule, cycle."""
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One named rule: how to build it and where it runs."""
+
+    name: str
+    factory: Callable[[], Rule]
+    after: tuple[str, ...] = ()
+    before: tuple[str, ...] = ()
+    enabled: bool = True
+    description: str = ""
+
+
+class RuleRegistry:
+    """Named, ordered, switchable collection of rule factories."""
+
+    def __init__(self) -> None:
+        self._registrations: dict[str, Registration] = {}
+        self._order: Optional[list[str]] = None  # resolved-order cache
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], Rule],
+        *,
+        after: Iterable[str] = (),
+        before: Iterable[str] = (),
+        enabled: bool = True,
+        description: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Register ``factory`` (a Rule subclass or zero-arg callable).
+
+        ``name`` must be unique unless ``replace=True``; a replaced rule
+        keeps its position in the baseline order.
+        """
+        name = name.strip().lower()
+        if not name:
+            raise RegistryError("rule name must be non-empty")
+        if name in self._registrations and not replace:
+            raise RegistryError(f"rule {name!r} is already registered")
+        if not description:
+            doc = getattr(factory, "__doc__", None) or ""
+            description = doc.strip().splitlines()[0] if doc.strip() else ""
+        self._registrations[name] = Registration(
+            name=name,
+            factory=factory,
+            after=tuple(a.strip().lower() for a in after),
+            before=tuple(b.strip().lower() for b in before),
+            enabled=enabled,
+            description=description,
+        )
+        self._order = None
+
+    def unregister(self, name: str) -> None:
+        try:
+            del self._registrations[name.strip().lower()]
+        except KeyError:
+            raise RegistryError(f"unknown rule {name!r}") from None
+        self._order = None
+
+    # -- enable / disable --------------------------------------------------
+
+    def _get(self, name: str) -> Registration:
+        registration = self._registrations.get(name.strip().lower())
+        if registration is None:
+            known = ", ".join(sorted(self._registrations)) or "(none)"
+            raise RegistryError(f"unknown rule {name!r}; registered: {known}")
+        return registration
+
+    def enable(self, *names: str) -> None:
+        for name in names:
+            registration = self._get(name)
+            self._registrations[registration.name] = replace(registration, enabled=True)
+
+    def disable(self, *names: str) -> None:
+        for name in names:
+            registration = self._get(name)
+            self._registrations[registration.name] = replace(registration, enabled=False)
+
+    def is_enabled(self, name: str) -> bool:
+        return self._get(name).enabled
+
+    # -- resolved views ----------------------------------------------------
+
+    def names(self) -> list[str]:
+        """All registered rule names in resolved evaluation order."""
+        return list(self._resolve_order())
+
+    def registrations(self) -> list[Registration]:
+        """Registrations in resolved evaluation order."""
+        return [self._registrations[name] for name in self._resolve_order()]
+
+    def rules(self) -> list[Rule]:
+        """Fresh instances of every *enabled* rule, in evaluation order."""
+        built: list[Rule] = []
+        for name in self._resolve_order():
+            registration = self._registrations[name]
+            if not registration.enabled:
+                continue
+            rule = registration.factory()
+            if not isinstance(rule, Rule):
+                raise RegistryError(
+                    f"factory for {name!r} built {type(rule).__name__}, not a Rule"
+                )
+            built.append(rule)
+        return built
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._registrations
+
+    def __len__(self) -> int:
+        return len(self._registrations)
+
+    # -- ordering ----------------------------------------------------------
+
+    def _resolve_order(self) -> list[str]:
+        if self._order is not None:
+            return self._order
+        names = list(self._registrations)
+        index = {name: position for position, name in enumerate(names)}
+        # Edge u -> v means u runs before v.  Unknown names in
+        # constraints are skipped by the `in index` guards.
+        successors: dict[str, set[str]] = {name: set() for name in names}
+        indegree = dict.fromkeys(names, 0)
+        for name, registration in self._registrations.items():
+            for other in registration.after:
+                if other in index and name not in successors[other]:
+                    successors[other].add(name)
+                    indegree[name] += 1
+            for other in registration.before:
+                if other in index and other not in successors[name]:
+                    successors[name].add(other)
+                    indegree[other] += 1
+        # Kahn's algorithm, always taking the earliest-registered ready
+        # node, so unconstrained rules keep registration order exactly.
+        ready = sorted(
+            (name for name in names if indegree[name] == 0), key=index.__getitem__
+        )
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            changed = False
+            for successor in successors[name]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+                    changed = True
+            if changed:
+                ready.sort(key=index.__getitem__)
+        if len(order) != len(names):
+            stuck = sorted(set(names) - set(order))
+            raise RegistryError(
+                f"ordering constraints form a cycle involving: {', '.join(stuck)}"
+            )
+        self._order = order
+        return order
+
+
+def default_registry() -> RuleRegistry:
+    """The standard 12-rule registry in the seed evaluation order."""
+    from repro.core.rules.anchors import AnchorRule
+    from repro.core.rules.attributes import AttributeRule
+    from repro.core.rules.comments import CommentRule
+    from repro.core.rules.document import DocumentRule
+    from repro.core.rules.forms import FormRule
+    from repro.core.rules.headings import HeadingRule
+    from repro.core.rules.images import ImageRule
+    from repro.core.rules.inline import InlineConfigRule
+    from repro.core.rules.style import StyleRule
+    from repro.core.rules.tables import TableRule
+    from repro.core.rules.text import TextRule
+
+    def plugin_rule() -> Rule:
+        # Imported lazily: the plugins package imports rule base classes
+        # from repro.core.rules modules.
+        from repro.plugins.base import PluginRule
+
+        return PluginRule()
+
+    registry = RuleRegistry()
+    registry.register(
+        "inline-config",
+        InlineConfigRule,
+        description="apply <!-- weblint: ... --> directives as they stream past",
+    )
+    # Every other rule runs after inline-config so directives take effect
+    # before the checks that follow them in the same token's fan-out.
+    after_config = ("inline-config",)
+    registry.register(
+        "document", DocumentRule, after=after_config,
+        description="whole-document structure: DOCTYPE, TITLE, HEAD/BODY",
+    )
+    registry.register(
+        "attributes", AttributeRule, after=after_config,
+        description="attribute checks: unknown, duplicate, delimiters, values",
+    )
+    registry.register(
+        "images", ImageRule, after=after_config,
+        description="IMG accessibility and performance: ALT, WIDTH/HEIGHT",
+    )
+    registry.register(
+        "anchors", AnchorRule, after=after_config,
+        description="anchor quality: here-anchors, empty or nested links",
+    )
+    registry.register(
+        "headings", HeadingRule, after=after_config,
+        description="heading structure: levels in order, body starts with H1",
+    )
+    registry.register(
+        "comments", CommentRule, after=after_config,
+        description="comment hygiene: markup or SSI inside comments",
+    )
+    registry.register(
+        "text", TextRule, after=after_config,
+        description="running text: literal metacharacters, entity problems",
+    )
+    registry.register(
+        "tables", TableRule, after=after_config,
+        description="TABLE accessibility: SUMMARY, header cells",
+    )
+    registry.register(
+        "forms", FormRule, after=after_config,
+        description="form controls: NAME/LABEL requirements, TEXTAREA size",
+    )
+    registry.register(
+        "style", StyleRule, after=after_config,
+        description="style preferences: physical markup, deprecated elements, case",
+    )
+    registry.register(
+        "plugins",
+        plugin_rule,
+        after=after_config,
+        description="feed claimed element content and attribute values to plugins",
+    )
+    return registry

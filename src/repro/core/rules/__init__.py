@@ -1,10 +1,15 @@
 """Per-concern check rules.
 
 Each module contributes one or more :class:`~repro.core.rules.base.Rule`
-subclasses; :func:`default_rules` instantiates the standard set in a
-stable order.  The stack mechanics themselves live in
+subclasses, registered by name in the
+:class:`~repro.core.registry.RuleRegistry`
+(:func:`repro.core.registry.default_registry` builds the standard set).
+:func:`default_rules` instantiates that registry's enabled rules in
+resolved order.  The stack mechanics themselves live in
 :mod:`repro.core.engine` -- rules receive the token stream plus stack
-events and look things up in the shared :class:`~repro.core.context.CheckContext`.
+events, routed through the compiled dispatch table according to each
+rule's subscriptions, and look things up in the shared
+:class:`~repro.core.context.CheckContext`.
 """
 
 from repro.core.rules.base import Rule
@@ -21,30 +26,12 @@ from repro.core.rules.style import StyleRule
 from repro.core.rules.tables import TableRule
 from repro.core.rules.text import TextRule
 
-
-def _plugin_rule():
-    # Imported lazily: the plugins package imports rule base classes from
-    # this package's modules.
-    from repro.plugins.base import PluginRule
-
-    return PluginRule()
-
 __all__ = ["Rule", "default_rules"]
 
 
 def default_rules() -> list[Rule]:
-    """The standard rule set, in evaluation order."""
-    return [
-        InlineConfigRule(),   # first: directives affect everything after
-        DocumentRule(),
-        AttributeRule(),
-        ImageRule(),
-        AnchorRule(),
-        HeadingRule(),
-        CommentRule(),
-        TextRule(),
-        TableRule(),
-        FormRule(),
-        StyleRule(),
-        _plugin_rule(),
-    ]
+    """The standard rule set, in registry evaluation order."""
+    # Imported here: registry.py imports the rule modules above.
+    from repro.core.registry import default_registry
+
+    return default_registry().rules()

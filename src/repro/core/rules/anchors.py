@@ -36,6 +36,10 @@ def normalise_anchor_text(text: str) -> str:
 
 class AnchorRule(Rule):
     name = "anchors"
+    subscribes = {
+        "handle_start_tag": _HEADINGS | {"a"},
+        "handle_element_closed": {"a"},
+    }
 
     def handle_start_tag(
         self,

@@ -32,7 +32,10 @@ _UNQUOTED_SAFE = re.compile(r"^[A-Za-z0-9._:-]*$")
 
 
 class AttributeRule(Rule):
+    # Inspects the attributes of every tag, so it subscribes to every
+    # start tag; the win for this rule is skipping the other six hooks.
     name = "attributes"
+    subscribes = {"handle_start_tag": "*"}
 
     def handle_start_tag(
         self,

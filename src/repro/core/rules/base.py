@@ -1,29 +1,135 @@
-"""Rule base class and hook protocol.
+"""Rule base class, hook protocol and the subscription API.
 
 A rule is a stateless-by-default visitor over the token stream and the
 structural events the engine derives from it.  All state a rule needs
-across events should live either in instance attributes reset in
-:meth:`Rule.start_document` or in ``context.scratch``.
+across events should live in ``context.scratch`` (keyed by the rule's
+``name``), initialised in :meth:`Rule.start_document`, so that one rule
+instance can serve interleaved checks.
 
-Hook order for one document::
+Hook order for one document (the dispatch contract)::
 
-    start_document
+    start_document               # once, before any token
       (per token, in document order)
       handle_start_tag / handle_end_tag / handle_text /
       handle_comment / handle_declaration
-      handle_element_closed        # after the stack pops an element
-    end_document
+      handle_element_closed      # after the stack pops an element;
+                                 # may fire between any two tokens and
+                                 # again during the final stack unwind
+    end_document                 # once, after the final unwind
+
+Subscriptions
+-------------
+
+The engine no longer calls every hook of every rule for every token.  A
+rule declares *interest* through the class attribute :attr:`Rule.subscribes`,
+mapping hook names to either ``True`` (every event of that hook) or, for
+the tag-keyed hooks (``handle_start_tag``, ``handle_end_tag``,
+``handle_element_closed``), an iterable of lower-case element names
+(``"*"`` for every element)::
+
+    class ImageRule(Rule):
+        name = "images"
+        subscribes = {"handle_start_tag": {"img", "input"}}
+
+The dispatch layer (:mod:`repro.core.dispatch`) compiles these into
+per-hook, per-tag-name handler tables.  Legacy rules that declare
+nothing keep working: :func:`infer_subscriptions` detects which hooks a
+subclass overrides and subscribes them with a wildcard, which reproduces
+the old call-everything behaviour for that rule alone.  A subclass that
+overrides a hook its parent did not declare also gets that hook inferred,
+so third-party subclasses of the built-ins stay safe.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import ClassVar, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.context import CheckContext, OpenElement
 from repro.html.spec import ElementDef
 from repro.html.tokens import Comment, Declaration, EndTag, StartTag, Text
 from repro.obs.profile import RuleProfiler
+
+#: Every hook a rule may implement, in invocation order.
+HOOK_NAMES: tuple[str, ...] = (
+    "start_document",
+    "handle_start_tag",
+    "handle_end_tag",
+    "handle_element_closed",
+    "handle_text",
+    "handle_comment",
+    "handle_declaration",
+    "end_document",
+)
+
+#: Hooks whose events carry an element name the dispatch table fans out on.
+TAG_KEYED_HOOKS: frozenset[str] = frozenset(
+    {"handle_start_tag", "handle_end_tag", "handle_element_closed"}
+)
+
+#: Wildcard marker usable inside a ``subscribes`` value.
+ANY_TAG = "*"
+
+#: Resolved subscription map: hook name -> None (every event) or a
+#: frozenset of element names (tag-keyed hooks only).
+SubscriptionMap = dict[str, Optional[frozenset[str]]]
+
+
+def _normalise_interest(
+    hook: str, value: Union[bool, str, Iterable[str]]
+) -> Optional[frozenset[str]]:
+    """One declared interest -> ``None`` (wildcard) or a tag-name set."""
+    if value is True or value == ANY_TAG:
+        return None
+    if value is False or value is None:
+        raise ValueError(f"subscription for {hook!r} must be truthy; omit the key instead")
+    if hook not in TAG_KEYED_HOOKS:
+        # Non-tag hooks have no fan-out key; any truthy value means "all".
+        return None
+    names = frozenset(str(name).lower() for name in value)
+    if ANY_TAG in names:
+        return None
+    if not names:
+        raise ValueError(f"subscription for {hook!r} names no elements")
+    return names
+
+
+def hook_is_overridden(rule: "Rule", hook: str) -> bool:
+    """Does ``rule``'s class provide its own implementation of ``hook``?"""
+    return getattr(type(rule), hook, None) is not getattr(Rule, hook)
+
+
+def infer_subscriptions(rule: "Rule") -> SubscriptionMap:
+    """Compatibility adapter: subscribe every overridden hook, wildcard.
+
+    This is what keeps pre-subscription third-party ``Rule`` subclasses
+    working under the compiled dispatch table -- they are called exactly
+    as often as the old call-everything engine called them.
+    """
+    return {
+        hook: None for hook in HOOK_NAMES if hook_is_overridden(rule, hook)
+    }
+
+
+def normalise_subscriptions(
+    declared: Mapping[str, object], rule: "Rule"
+) -> SubscriptionMap:
+    """Validate and normalise a ``subscribes`` declaration.
+
+    Hooks the rule overrides but did not declare are merged in with a
+    wildcard (see the module docstring: subclass safety).
+    """
+    resolved: SubscriptionMap = {}
+    for hook, value in declared.items():
+        if hook not in HOOK_NAMES:
+            raise ValueError(
+                f"unknown hook {hook!r} in {type(rule).__name__}.subscribes "
+                f"(known: {', '.join(HOOK_NAMES)})"
+            )
+        resolved[hook] = _normalise_interest(hook, value)
+    for hook, interest in infer_subscriptions(rule).items():
+        resolved.setdefault(hook, interest)
+    return resolved
 
 
 class Rule:
@@ -31,6 +137,26 @@ class Rule:
 
     #: Stable identifier used in scratch keys and debugging output.
     name = "rule"
+
+    #: Declared interest (see module docstring).  ``None`` means "infer
+    #: from overridden hooks" -- the legacy-compatibility path.
+    subscribes: ClassVar[Optional[Mapping[str, object]]] = None
+
+    def subscriptions(self, spec=None, options=None) -> SubscriptionMap:
+        """Resolved interest map for this rule under ``spec``/``options``.
+
+        The default implementation normalises :attr:`subscribes` (or
+        infers interest from overridden hooks when nothing is declared).
+        Rules whose interest depends on the active spec or options --
+        e.g. :class:`~repro.core.rules.style.StyleRule`, which needs
+        every tag only when a house case style is configured -- override
+        this; the dispatch table is compiled once per
+        ``(spec, options, ruleset)`` so the computation is off the hot
+        path.
+        """
+        if self.subscribes is None:
+            return infer_subscriptions(self)
+        return normalise_subscriptions(self.subscribes, self)
 
     def start_document(self, context: CheckContext) -> None:
         """Called once before any token."""
@@ -79,18 +205,26 @@ class Rule:
 
 
 class TimedRule(Rule):
-    """Transparent timing shim around another rule.
+    """Transparent timing shim around another rule (legacy).
 
     Every hook invocation is timed with ``perf_counter`` and accumulated
     into a :class:`~repro.obs.profile.RuleProfiler` under the inner
-    rule's ``name``.  The engine wraps its rule list in these only while
-    profiling is active, so the default pipeline never pays for it.
+    rule's ``name``.  The engine used to wrap its rule list in these
+    while profiling; profiling now happens per hook invocation inside
+    the dispatch layer (:mod:`repro.core.dispatch`), which never mutates
+    the shared rule list.  The shim remains for embedders who wrap rule
+    lists themselves.
     """
 
     def __init__(self, inner: Rule, profiler: RuleProfiler) -> None:
         self.inner = inner
         self.profiler = profiler
         self.name = inner.name
+
+    def subscriptions(self, spec=None, options=None) -> SubscriptionMap:
+        # Delegate interest to the wrapped rule so a wrapped list
+        # compiles to the same dispatch table as the bare one.
+        return self.inner.subscriptions(spec, options)
 
     def _timed(self, method, *args) -> None:
         start = time.perf_counter()

@@ -16,6 +16,7 @@ from repro.html.tokens import Comment, LexicalIssue
 
 class CommentRule(Rule):
     name = "comments"
+    subscribes = {"handle_comment": True}
 
     def handle_comment(self, context: CheckContext, token: Comment) -> None:
         if token.has_issue(LexicalIssue.UNTERMINATED_COMMENT):

@@ -8,6 +8,7 @@ meta information, authorship LINK and NOFRAMES content.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.context import CheckContext, OpenElement
@@ -16,15 +17,37 @@ from repro.html.spec import ElementDef
 from repro.html.tokens import EndTag, StartTag
 
 
+@dataclass
+class _DocState:
+    """Per-document tracking, kept in ``context.scratch`` so one rule
+    instance can serve interleaved checks."""
+
+    doctype_checked: bool = False
+    seen_meta_description: bool = False
+    seen_link_rev_made: bool = False
+    frameset_line: Optional[int] = None
+    seen_noframes: bool = False
+
+
 class DocumentRule(Rule):
     name = "document"
+    # Wildcard start tags: the require-doctype check must fire on the
+    # *first* tag whatever its name; the named tracking below is cheap.
+    subscribes = {
+        "start_document": True,
+        "handle_start_tag": "*",
+        "handle_element_closed": {"title"},
+        "end_document": True,
+    }
 
     def start_document(self, context: CheckContext) -> None:
-        self._doctype_checked = False
-        self._seen_meta_description = False
-        self._seen_link_rev_made = False
-        self._frameset_line: Optional[int] = None
-        self._seen_noframes = False
+        context.scratch[self.name] = _DocState()
+
+    def _state(self, context: CheckContext) -> _DocState:
+        state = context.scratch.get(self.name)
+        if state is None:
+            state = context.scratch[self.name] = _DocState()
+        return state
 
     # -- per-tag tracking ---------------------------------------------------
 
@@ -34,8 +57,9 @@ class DocumentRule(Rule):
         tag: StartTag,
         elem: Optional[ElementDef],
     ) -> None:
-        if not self._doctype_checked:
-            self._doctype_checked = True
+        state = self._state(context)
+        if not state.doctype_checked:
+            state.doctype_checked = True
             if not context.seen_doctype:
                 context.emit("require-doctype", line=tag.line)
 
@@ -46,15 +70,15 @@ class DocumentRule(Rule):
                 "description",
                 "keywords",
             ):
-                self._seen_meta_description = True
+                state.seen_meta_description = True
         elif name == "link":
             rev = tag.get("rev")
             if rev is not None and rev.value.lower() == "made":
-                self._seen_link_rev_made = True
-        elif name == "frameset" and self._frameset_line is None:
-            self._frameset_line = tag.line
+                state.seen_link_rev_made = True
+        elif name == "frameset" and state.frameset_line is None:
+            state.frameset_line = tag.line
         elif name == "noframes":
-            self._seen_noframes = True
+            state.seen_noframes = True
 
     def handle_element_closed(
         self,
@@ -82,6 +106,7 @@ class DocumentRule(Rule):
     def end_document(self, context: CheckContext) -> None:
         if not context.seen_any_element:
             return
+        state = self._state(context)
         if (
             context.first_element_name != "html"
             or context.last_end_tag_name != "html"
@@ -91,9 +116,9 @@ class DocumentRule(Rule):
             context.emit(
                 "require-title", line=context.history.get("head", 1)
             )
-        if self._frameset_line is not None and not self._seen_noframes:
-            context.emit("frame-noframes", line=self._frameset_line)
-        if not self._seen_meta_description:
+        if state.frameset_line is not None and not state.seen_noframes:
+            context.emit("frame-noframes", line=state.frameset_line)
+        if not state.seen_meta_description:
             context.emit("meta-description", line=1)
-        if not self._seen_link_rev_made:
+        if not state.seen_link_rev_made:
             context.emit("link-rev-made", line=1)

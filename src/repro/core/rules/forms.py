@@ -23,6 +23,7 @@ _CONTROLS = frozenset({"input", "select", "textarea"})
 
 class FormRule(Rule):
     name = "forms"
+    subscribes = {"handle_start_tag": _CONTROLS}
 
     def handle_start_tag(
         self,

@@ -21,6 +21,7 @@ _HEADINGS = {"h1": 1, "h2": 2, "h3": 3, "h4": 4, "h5": 5, "h6": 6}
 
 class HeadingRule(Rule):
     name = "headings"
+    subscribes = {"handle_start_tag": frozenset(_HEADINGS)}
 
     def handle_start_tag(
         self,

@@ -25,6 +25,7 @@ from repro.html.tokens import StartTag
 
 class ImageRule(Rule):
     name = "images"
+    subscribes = {"handle_start_tag": {"img", "input"}}
 
     def handle_start_tag(
         self,

@@ -55,6 +55,7 @@ class InlineConfigRule(Rule):
     """Applies ``<!-- weblint: ... -->`` directives as they stream past."""
 
     name = "inline-config"
+    subscribes = {"handle_comment": True}
 
     def handle_comment(self, context: CheckContext, token: Comment) -> None:
         directives = parse_directives(token.text)

@@ -24,6 +24,26 @@ _BODY_COLOR_ATTRIBUTES = ("bgcolor", "text", "link", "vlink", "alink")
 
 class StyleRule(Rule):
     name = "style"
+    # Static fallback (used when compiled without a spec, e.g. by a bare
+    # subscriptions() call): every tag.  subscriptions() narrows this.
+    subscribes = {"handle_start_tag": "*", "handle_end_tag": "*"}
+
+    def subscriptions(self, spec=None, options=None):
+        """Spec/options-specialised interest.
+
+        The case-style checks need every tag, but only when a house
+        style is configured; otherwise this rule only cares about the
+        spec's physical-markup elements, its deprecated elements, and
+        BODY.  Compiled once per (spec, options) by the dispatch layer.
+        """
+        if spec is None or options is None or options.case_style:
+            return super().subscriptions(spec, options)
+        names = set(spec.physical_markup)
+        names.update(
+            name for name, elem in spec.elements.items() if elem.deprecated
+        )
+        names.add("body")
+        return {"handle_start_tag": frozenset(names)}
 
     def handle_start_tag(
         self,

@@ -22,6 +22,7 @@ from repro.html.tokens import StartTag
 
 class TableRule(Rule):
     name = "tables"
+    subscribes = {"handle_start_tag": {"table"}}
 
     def handle_start_tag(
         self,

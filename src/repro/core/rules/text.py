@@ -20,6 +20,7 @@ from repro.html.tokens import LexicalIssue, Text
 
 class TextRule(Rule):
     name = "text"
+    subscribes = {"handle_text": True}
 
     def handle_text(self, context: CheckContext, token: Text) -> None:
         if token.has_issue(LexicalIssue.BARE_LT_IN_TEXT):

@@ -74,18 +74,34 @@ class Tokenizer:
 
     def tokenize(self) -> list[Token]:
         """Scan the whole document and return its tokens."""
+        return list(self.iter_tokens())
+
+    def iter_tokens(self) -> Iterator[Token]:
+        """Stream tokens as they are scanned.
+
+        The engine's dispatch loop consumes this feed directly, so a
+        document is checked without ever materialising its full token
+        list; :meth:`tokenize` remains for callers that want the list.
+        Memory stays bounded by the handful of tokens one scan step can
+        produce.  Per-document metrics (docs/observability.md:
+        ``tokenizer.*``) are recorded when the stream is exhausted,
+        keeping the scan loop itself free of instrumentation.
+        """
+        pending = self._tokens
+        produced = 0
         while self.pos < self.length:
             if self.source[self.pos] == "<":
                 self._scan_angle()
             else:
                 self._scan_text()
-        # Aggregate metrics once per document, keeping the scan loop free
-        # of instrumentation (docs/observability.md: tokenizer.*).
+            if pending:
+                produced += len(pending)
+                yield from tuple(pending)
+                pending.clear()
         registry = get_registry()
         registry.inc("tokenizer.documents")
-        registry.inc("tokenizer.tokens", len(self._tokens))
+        registry.inc("tokenizer.tokens", produced)
         registry.inc("tokenizer.bytes", self.length)
-        return self._tokens
 
     # -- position helpers ---------------------------------------------------
 
@@ -395,5 +411,5 @@ def tokenize(source: str) -> list[Token]:
 
 
 def iter_tokens(source: str) -> Iterator[Token]:
-    """Iterate tokens (currently materialises the list; API future-proofing)."""
-    yield from tokenize(source)
+    """Stream tokens from ``source`` with a fresh tokenizer."""
+    return Tokenizer(source).iter_tokens()

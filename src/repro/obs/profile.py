@@ -4,9 +4,12 @@ Answers "which rule is slow?" -- the question that motivated the paper's
 weblint 2 rewrite ("hard to maintain and slow") and WebChecker's
 per-constraint cost reporting.  Disabled by default; ``weblint
 --profile`` (or :func:`set_profiler` / :class:`use_profiler`) installs a
-:class:`RuleProfiler`, which makes the engine wrap every rule in a
-timing shim (:class:`repro.core.rules.base.TimedRule`) and makes
-``CheckContext.emit`` count message ids.
+:class:`RuleProfiler`.  The dispatch layer
+(:meth:`repro.core.dispatch.DispatchTable.run_hooks`) then times every
+hook invocation and attributes it to the owning rule's name, and
+``CheckContext.emit`` counts message ids.  The active profiler is
+resolved once per check (when the ``CheckContext`` is built), so
+installing or removing one never mutates engine state mid-check.
 """
 
 from __future__ import annotations

@@ -22,6 +22,12 @@ class ContentPlugin:
 
     name = "plugin"
 
+    #: Static hint: the element names ``claims_element`` may ever return
+    #: True for, used to narrow the dispatch table's element-closed
+    #: fan-out.  ``None`` means "unknown" and keeps the wildcard, so
+    #: existing third-party plugins stay correct without changes.
+    element_names: Optional[tuple[str, ...]] = None
+
     def claims_element(self, element_name: str, tag: StartTag) -> bool:
         return False
 
@@ -40,18 +46,55 @@ class ContentPlugin:
 
 
 class PluginRule(Rule):
-    """Feeds claimed content to plugins as the token stream passes."""
+    """Feeds claimed content to plugins as the token stream passes.
+
+    Capture state lives in ``context.scratch`` (one list per check), so
+    a single PluginRule instance safely serves interleaved checks.
+    """
 
     name = "plugins"
+    # Attribute claims (style="...") can sit on any element, so start
+    # tags stay wildcard; element-closed narrows to the plugins' static
+    # claims via subscriptions() below.
+    subscribes = {
+        "start_document": True,
+        "handle_start_tag": "*",
+        "handle_text": True,
+        "handle_element_closed": "*",
+        "end_document": True,
+    }
 
     def __init__(self, plugins: Optional[Sequence[ContentPlugin]] = None) -> None:
         self.plugins: list[ContentPlugin] = (
             list(plugins) if plugins is not None else default_plugins()
         )
 
+    def subscriptions(self, spec=None, options=None):
+        resolved = super().subscriptions(spec, options)
+        claimed: set[str] = set()
+        for plugin in self.plugins:
+            if plugin.element_names is None:
+                return resolved  # unknown claims: keep the wildcard
+            claimed.update(name.lower() for name in plugin.element_names)
+        if claimed:
+            resolved["handle_element_closed"] = frozenset(claimed)
+        else:
+            resolved.pop("handle_element_closed", None)
+        return resolved
+
+    # -- capture state -----------------------------------------------------
+
+    #: scratch entries: (plugin, element name, start line, buffered text)
+    def _capturing(
+        self, context: CheckContext
+    ) -> list[tuple[ContentPlugin, str, int, list[str]]]:
+        captures = context.scratch.get(self.name)
+        if captures is None:
+            captures = context.scratch[self.name] = []
+        return captures
+
     def start_document(self, context: CheckContext) -> None:
-        # (plugin, element name, start line, buffered text parts)
-        self._capturing: list[tuple[ContentPlugin, str, int, list[str]]] = []
+        context.scratch[self.name] = []
 
     def handle_start_tag(
         self,
@@ -60,6 +103,7 @@ class PluginRule(Rule):
         elem: Optional[ElementDef],
     ) -> None:
         name = tag.lowered
+        captures = self._capturing(context)
         for plugin in self.plugins:
             for attr in tag.attributes:
                 if attr.has_value and plugin.claims_attribute(name, attr.lowered):
@@ -67,10 +111,10 @@ class PluginRule(Rule):
                         context, attr.value, attr.line or tag.line
                     )
             if plugin.claims_element(name, tag) and not tag.self_closing:
-                self._capturing.append((plugin, name, tag.line, []))
+                captures.append((plugin, name, tag.line, []))
 
     def handle_text(self, context: CheckContext, token: Text) -> None:
-        for _plugin, _name, _line, parts in self._capturing:
+        for _plugin, _name, _line, parts in self._capturing(context):
             parts.append(token.text)
 
     def handle_element_closed(
@@ -80,19 +124,20 @@ class PluginRule(Rule):
         end_tag: Optional[EndTag],
         implicit: bool,
     ) -> None:
+        captures = self._capturing(context)
         remaining: list[tuple[ContentPlugin, str, int, list[str]]] = []
-        for plugin, name, line, parts in self._capturing:
+        for plugin, name, line, parts in captures:
             if name == open_element.name:
                 plugin.check_content(context, "".join(parts), line)
             else:
                 remaining.append((plugin, name, line, parts))
-        self._capturing = remaining
+        context.scratch[self.name] = remaining
 
     def end_document(self, context: CheckContext) -> None:
         # Elements never closed still get their content checked.
-        for plugin, _name, line, parts in self._capturing:
+        for plugin, _name, line, parts in self._capturing(context):
             plugin.check_content(context, "".join(parts), line)
-        self._capturing = []
+        context.scratch[self.name] = []
 
 
 def default_plugins() -> list[ContentPlugin]:

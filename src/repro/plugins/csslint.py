@@ -244,6 +244,7 @@ class CSSPlugin(ContentPlugin):
     """The stylesheet validator plugin."""
 
     name = "css"
+    element_names = ("style",)
 
     def claims_element(self, element_name: str, tag: StartTag) -> bool:
         if element_name != "style":

@@ -84,6 +84,7 @@ class ScriptPlugin(ContentPlugin):
     """The script sanity plugin."""
 
     name = "script"
+    element_names = ("script",)
 
     def claims_element(self, element_name: str, tag: StartTag) -> bool:
         return element_name == "script" and tag.get("src") is None

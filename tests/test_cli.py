@@ -73,6 +73,49 @@ class TestWeblintCli:
         )
         assert "STRONG" in capsys.readouterr().out
 
+    def test_list_rules(self, capsys):
+        assert weblint_main(["--no-config", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("inline-config", "document", "images", "plugins"):
+            assert name in out
+
+    def test_list_rules_reflects_disable(self, capsys):
+        weblint_main(
+            ["--no-config", "--disable-rule", "images", "--list-rules"]
+        )
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if line.startswith("images"):
+                assert " off " in line
+                break
+        else:
+            pytest.fail("images row missing from --list-rules output")
+
+    def test_disable_rule(self, example_file, capsys):
+        weblint_main(
+            ["--no-config", "--disable-rule", "document", str(example_file)]
+        )
+        assert "DOCTYPE" not in capsys.readouterr().out
+
+    def test_disable_then_enable_rule_round_trip(self, example_file, capsys):
+        weblint_main(["--no-config", str(example_file)])
+        baseline = capsys.readouterr().out
+        weblint_main(
+            ["--no-config", "--disable-rule", "document,images",
+             "--enable-rule", "document,images", str(example_file)]
+        )
+        assert capsys.readouterr().out == baseline
+
+    def test_unknown_rule_is_usage_error(self, example_file, capsys):
+        assert (
+            weblint_main(
+                ["--no-config", "--disable-rule", "nonsense", str(example_file)]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown rule" in err and "registered:" in err
+
     def test_extension_switch(self, tmp_path, capsys):
         page = tmp_path / "n.html"
         page.write_text(make_document("<p><blink>x</blink></p>"))
