@@ -52,6 +52,21 @@ def record_result(name: str, **values: object) -> None:
 _DISPATCH_RESULTS: dict[str, dict[str, object]] = {}
 
 
+#: Results the parallel-pipeline benchmark (E15) records for
+#: BENCH_parallel.json.
+_PARALLEL_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_parallel_result(name: str, **values: object) -> None:
+    """Record one sequential-vs-parallel pipeline measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_parallel.json``
+    carries only the batch-pipeline numbers (pages/sec at each job
+    count, speedup, the host's CPU count).
+    """
+    _PARALLEL_RESULTS[name] = dict(values)
+
+
 def record_dispatch_result(name: str, **values: object) -> None:
     """Record one compiled-vs-naive dispatch measurement.
 
@@ -93,6 +108,17 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         try:
             (root / "BENCH_dispatch.json").write_text(
                 json.dumps(dispatch_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+    if _PARALLEL_RESULTS:
+        parallel_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _PARALLEL_RESULTS,
+        }
+        try:
+            (root / "BENCH_parallel.json").write_text(
+                json.dumps(parallel_payload, indent=2, sort_keys=True) + "\n"
             )
         except OSError:  # pragma: no cover - read-only checkout
             pass

@@ -39,6 +39,17 @@ from repro.core.reporter import (
     VerboseReporter,
     get_reporter,
 )
+from repro.core.service import (
+    DocumentSource,
+    LintRequest,
+    LintResult,
+    LintService,
+    PathSource,
+    SourceError,
+    StdinSource,
+    StringSource,
+    URLSource,
+)
 from repro.html.spec import HTMLSpec, available_specs, get_spec
 
 __version__ = "2.0.0a1"
@@ -46,6 +57,15 @@ __version__ = "2.0.0a1"
 __all__ = [
     "Weblint",
     "WeblintError",
+    "LintService",
+    "LintRequest",
+    "LintResult",
+    "DocumentSource",
+    "PathSource",
+    "StringSource",
+    "StdinSource",
+    "URLSource",
+    "SourceError",
     "Options",
     "Diagnostic",
     "Category",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 import time
 from pathlib import Path
@@ -25,11 +26,24 @@ from repro.config.options import Options, UnknownMessageError
 from repro.config.presets import apply_preset, available_presets
 from repro.config.rcfile import ConfigError
 from repro.core import constants
-from repro.core.linter import Weblint, WeblintError
 from repro.core.messages import CATALOG
 from repro.core.reporter import available_reporters, get_reporter
+from repro.core.service import (
+    LintRequest,
+    LintService,
+    PathSource,
+    StdinSource,
+)
 from repro.html.spec import available_specs
 from repro.obs import use_profiler, use_registry, use_tracer
+
+
+def _default_jobs() -> int:
+    """``--jobs`` default: the WEBLINT_JOBS environment variable, else 1."""
+    try:
+        return int(os.environ.get("WEBLINT_JOBS", "1"))
+    except ValueError:
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recurse into directories: whole-site check with index-file, "
         "orphan-page and local link analyses",
+    )
+    parser.add_argument(
+        "-j", "--jobs",
+        type=int,
+        default=_default_jobs(),
+        metavar="N",
+        help="lint documents with N worker processes (0 = one per CPU; "
+        "default from WEBLINT_JOBS, else 1)",
     )
     parser.add_argument(
         "--rcfile",
@@ -280,9 +302,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         return constants.EXIT_CLEAN
 
     try:
-        weblint = Weblint(
-            options=options, reporter=_pick_reporter(args), registry=registry
-        )
+        reporter = _pick_reporter(args)
+        service = LintService(options=options, registry=registry)
     except KeyError as exc:
         err.write(f"weblint: {exc}\n")
         return constants.EXIT_USAGE
@@ -294,7 +315,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         tracer = stack.enter_context(use_tracer()) if args.trace else None
         profiler = stack.enter_context(use_profiler()) if args.profile else None
 
-        code = _check_paths(args, options, weblint, out, err)
+        code = _check_paths(args, options, service, reporter, out, err)
         wall_seconds = time.perf_counter() - started
 
         if tracer is not None and not _write_trace(tracer, args.trace, err):
@@ -302,48 +323,84 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         if profiler is not None:
             err.write(profiler.render_report() + "\n")
         if args.stats:
-            _print_stats(registry, weblint, wall_seconds, err)
+            _print_stats(registry, reporter, wall_seconds, err)
     return code
 
 
-def _check_paths(args, options, weblint: Weblint, out, err) -> int:
-    """The path loop: returns the process exit code."""
+def _check_paths(args, options, service: LintService, reporter, out, err) -> int:
+    """The path batch: returns the process exit code.
+
+    All plain documents (files and stdin) go through one
+    ``LintService.check_many`` pass -- parallel when ``--jobs`` asks for
+    it -- and results come back in input order.  Directories run through
+    the site checker, which shares the same service and job count.
+    Unreadable documents become structured errors: the whole batch is
+    still checked and reported, the errors land on stderr, and the run
+    exits with the usage status (2), matching the historical behaviour
+    for a missing file.
+    """
     paths = args.paths or ["-"]
+
+    # Classify every path first (usage errors beat lint output), keeping
+    # input order so reports are deterministic regardless of job count.
+    items: list[tuple[str, object]] = []
+    for path_text in paths:
+        if path_text == "-":
+            items.append(("lint", LintRequest(StdinSource())))
+        elif Path(path_text).is_dir():
+            if not options.recurse:
+                err.write(f"weblint: {path_text} is a directory (use -R)\n")
+                return constants.EXIT_USAGE
+            items.append(("site", path_text))
+        else:
+            items.append(("lint", LintRequest(PathSource(path_text))))
+
+    # One batch for every plain document in the run.
+    requests = [item for kind, item in items if kind == "lint"]
+    checked = iter(service.check_many(requests, jobs=args.jobs))
+
     total = 0
-    try:
-        for path_text in paths:
-            if path_text == "-":
-                diagnostics = weblint.check_string(sys.stdin.read(), "stdin")
-            elif Path(path_text).is_dir():
-                if not options.recurse:
-                    err.write(
-                        f"weblint: {path_text} is a directory (use -R)\n"
-                    )
-                    return constants.EXIT_USAGE
-                from repro.site.sitecheck import SiteChecker
+    failures: list[str] = []
+    # Batch reporters (json, stats) emit one document per run: collect
+    # everything and report once, so multi-path output stays parseable.
+    batched: Optional[list] = [] if reporter.batch_output else None
+    for kind, item in items:
+        if kind == "lint":
+            result = next(checked)
+            if result.error is not None:
+                failures.append(result.error)
+                continue
+            diagnostics = result.diagnostics
+        else:
+            from repro.site.sitecheck import SiteChecker
 
-                report = SiteChecker(weblint=weblint).check_directory(path_text)
-                diagnostics = report.all_diagnostics()
-                if args.site_report:
-                    from repro.site.report import (
-                        render_html_report,
-                        render_text_report,
-                    )
+            report = SiteChecker(service=service, jobs=args.jobs).check_directory(
+                item
+            )
+            failures.extend(report.page_errors)
+            diagnostics = report.all_diagnostics()
+            if args.site_report:
+                from repro.site.report import (
+                    render_html_report,
+                    render_text_report,
+                )
 
-                    if args.site_report == "-":
-                        out.write(render_text_report(report) + "\n")
-                    else:
-                        Path(args.site_report).write_text(
-                            render_html_report(report)
-                        )
-            else:
-                diagnostics = weblint.check_file(path_text)
-            total += len(diagnostics)
-            weblint.report(diagnostics, stream=out)
-    except WeblintError as exc:
-        err.write(f"weblint: {exc}\n")
+                if args.site_report == "-":
+                    out.write(render_text_report(report) + "\n")
+                else:
+                    Path(args.site_report).write_text(render_html_report(report))
+        total += len(diagnostics)
+        if batched is None:
+            reporter.report(diagnostics, stream=out)
+        else:
+            batched.extend(diagnostics)
+    if batched is not None:
+        reporter.report(batched, stream=out)
+
+    for failure in failures:
+        err.write(f"weblint: {failure}\n")
+    if failures:
         return constants.EXIT_USAGE
-
     return constants.EXIT_WARNINGS if total else constants.EXIT_CLEAN
 
 
@@ -355,9 +412,9 @@ _STATS_DEFAULTS = (
 )
 
 
-def _print_stats(registry, weblint: Weblint, wall_seconds: float, stream) -> None:
+def _print_stats(registry, reporter, wall_seconds: float, stream) -> None:
     stream.write("weblint stats:\n")
-    counts = weblint.reporter.count
+    counts = reporter.count
     by_category = ", ".join(
         f"{value} {name}" for name, value in sorted(counts.items()) if name != "total"
     )

@@ -9,7 +9,7 @@ format.  It is deliberately dumb data: formatting belongs to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.messages import Category, Message, message
 
@@ -52,3 +52,20 @@ class Diagnostic:
 
     def __str__(self) -> str:
         return f"{self.filename}({self.line}): {self.text}"
+
+
+def count_by_category(
+    diagnostics: Iterable[Diagnostic], include_zero: bool = True
+) -> dict[str, int]:
+    """Diagnostics per category name, e.g. ``{"error": 2, "style": 0}``.
+
+    The one shared tally used by ``Weblint.counts``, the reporters'
+    running totals and the verbose footer.  With ``include_zero=False``
+    only categories that actually occurred appear.
+    """
+    counts = {category.value: 0 for category in Category}
+    for diagnostic in diagnostics:
+        counts[diagnostic.category.value] += 1
+    if not include_zero:
+        counts = {name: value for name, value in counts.items() if value}
+    return counts

@@ -15,29 +15,35 @@ The Python equivalent::
     weblint = Weblint()
     diagnostics = weblint.check_file("test.html")
 
-``check_url`` talks to a :class:`repro.www.client.UserAgent`; by default
-that agent has no live network (this reproduction substitutes LWP with an
-in-memory virtual web -- see DESIGN.md section 4), so callers pass an
-agent bound to a :class:`repro.www.virtualweb.VirtualWeb` or any object
-with a compatible ``get`` method.
+``Weblint`` keeps the paper's one-document-at-a-time, raise-on-failure
+shape; internally it is a thin facade over
+:class:`repro.core.service.LintService`, which owns the batch pipeline
+that every front end (CLI, site checker, gateway, robot, harness) now
+shares.  ``check_url`` talks to a :class:`repro.www.client.UserAgent`;
+by default that agent has no live network (this reproduction substitutes
+LWP with an in-memory virtual web -- see DESIGN.md section 4), so
+callers pass an agent bound to a :class:`repro.www.virtualweb.VirtualWeb`
+or any object with a compatible ``get`` method.
 """
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.config.options import Options
-from repro.core.diagnostics import Diagnostic
-from repro.core.engine import Engine
+from repro.core.diagnostics import Diagnostic, count_by_category
 from repro.core.messages import Category
 from repro.core.registry import RuleRegistry
 from repro.core.reporter import LintReporter, Reporter, ShortReporter
 from repro.core.rules.base import Rule
-from repro.html.spec import HTMLSpec, get_spec
-from repro.obs.metrics import get_registry
-from repro.obs.trace import get_tracer
+from repro.core.service import (
+    LintService,
+    PathSource,
+    StringSource,
+    URLSource,
+)
+from repro.html.spec import HTMLSpec
 
 
 class WeblintError(Exception):
@@ -57,20 +63,18 @@ class Weblint:
         registry: Optional[RuleRegistry] = None,
         naive_dispatch: bool = False,
     ) -> None:
-        self.options = options if options is not None else Options.with_defaults()
-        if isinstance(spec, str):
-            spec = get_spec(spec)
-        self.spec = spec if spec is not None else get_spec(self.options.spec_name)
-        self.registry = registry
-        if rules is None and registry is not None:
-            rules = registry.rules()
-        self._engine = Engine(
-            spec=self.spec,
-            options=self.options,
+        self.service = LintService(
+            options=options,
+            spec=spec,
             rules=rules,
+            registry=registry,
             cascade_heuristics=cascade_heuristics,
             naive_dispatch=naive_dispatch,
         )
+        self.options = self.service.options
+        self.spec = self.service.spec
+        self.registry = registry
+        self._engine = self.service.engine
         if reporter is None:
             reporter = ShortReporter() if self.options.short_format else LintReporter()
         self.reporter = reporter
@@ -79,25 +83,14 @@ class Weblint:
 
     def check_string(self, source: str, filename: str = "-") -> list[Diagnostic]:
         """Check HTML given as a string."""
-        start = time.perf_counter()
-        with get_tracer().span("lint.file", file=filename):
-            context = self._engine.check(source, filename)
-        diagnostics = context.sorted_diagnostics()
-        registry = get_registry()
-        registry.inc("lint.files")
-        registry.observe("lint.check_ms", (time.perf_counter() - start) * 1000.0)
-        for diagnostic in diagnostics:
-            registry.inc(f"lint.diagnostics.{diagnostic.category.value}")
-        return diagnostics
+        return self.service.check(StringSource(source, name=filename)).diagnostics
 
     def check_file(self, path: Union[str, Path]) -> list[Diagnostic]:
         """Check one HTML file on disk."""
-        path = Path(path)
-        try:
-            source = path.read_text(encoding="utf-8", errors="replace")
-        except OSError as exc:
-            raise WeblintError(f"cannot read {path}: {exc}") from exc
-        return self.check_string(source, filename=str(path))
+        result = self.service.check(PathSource(path))
+        if result.error is not None:
+            raise WeblintError(result.error)
+        return result.diagnostics
 
     def check_url(self, url: str, agent=None) -> list[Diagnostic]:
         """Fetch a URL with ``agent`` and check the response body.
@@ -106,16 +99,10 @@ class Weblint:
         response has ``status``, ``body`` and ``url`` attributes --
         normally a :class:`repro.www.client.UserAgent`.
         """
-        if agent is None:
-            # Imported lazily: the www substrate mirrors the paper's
-            # optional LWP dependency.
-            from repro.www.client import UserAgent
-
-            agent = UserAgent()
-        response = agent.get(url)
-        if not response.ok:
-            raise WeblintError(f"cannot fetch {url}: {response.status} {response.reason}")
-        return self.check_string(response.body, filename=response.url)
+        result = self.service.check(URLSource(url, agent=agent))
+        if result.error is not None:
+            raise WeblintError(result.error)
+        return result.diagnostics
 
     # -- reporting ---------------------------------------------------------------------
 
@@ -134,10 +121,7 @@ class Weblint:
     @staticmethod
     def counts(diagnostics: Sequence[Diagnostic]) -> dict[str, int]:
         """Count diagnostics per category name."""
-        result = {category.value: 0 for category in Category}
-        for diagnostic in diagnostics:
-            result[diagnostic.category.value] += 1
-        return result
+        return count_by_category(diagnostics)
 
     @staticmethod
     def worst_category(diagnostics: Sequence[Diagnostic]) -> Optional[Category]:

@@ -22,7 +22,7 @@ import html as _html
 import json
 from typing import IO, Iterable, Optional
 
-from repro.core.diagnostics import Diagnostic
+from repro.core.diagnostics import Diagnostic, count_by_category
 from repro.core.messages import message
 from repro.obs.metrics import get_registry
 
@@ -48,6 +48,12 @@ class Reporter:
 
     name = "base"
 
+    #: True for reporters whose output is one machine-readable document
+    #: per *run* (JSON, stats): the CLI collects every path's diagnostics
+    #: and calls :meth:`report` once, instead of once per path -- so a
+    #: multi-path run emits a single parseable document.
+    batch_output = False
+
     def __init__(self) -> None:
         self._counts: dict[str, int] = {"total": 0}
 
@@ -71,9 +77,8 @@ class Reporter:
 
     def _record(self, items: list[Diagnostic]) -> None:
         self._counts["total"] = self._counts.get("total", 0) + len(items)
-        for diagnostic in items:
-            key = diagnostic.category.value
-            self._counts[key] = self._counts.get(key, 0) + 1
+        for key, value in count_by_category(items, include_zero=False).items():
+            self._counts[key] = self._counts.get(key, 0) + value
 
     def report(
         self,
@@ -137,10 +142,7 @@ class VerboseReporter(Reporter):
     def footer(self, diagnostics: list[Diagnostic]) -> str:
         if not diagnostics:
             return ""
-        by_category: dict[str, int] = {}
-        for diagnostic in diagnostics:
-            key = diagnostic.category.value
-            by_category[key] = by_category.get(key, 0) + 1
+        by_category = count_by_category(diagnostics, include_zero=False)
         summary = ", ".join(
             f"{count} {name}{'s' if count != 1 else ''}"
             for name, count in sorted(by_category.items())
@@ -179,6 +181,7 @@ class JSONReporter(Reporter):
     """One JSON object per run: machine-readable output."""
 
     name = "json"
+    batch_output = True
 
     def format(self, diagnostic: Diagnostic) -> str:  # pragma: no cover
         return json.dumps(self._as_dict(diagnostic))
@@ -217,6 +220,7 @@ class StatsReporter(Reporter):
     """
 
     name = "stats"
+    batch_output = True
 
     def report(
         self,

@@ -30,8 +30,8 @@ from typing import Optional
 from repro.config.options import Options, UnknownMessageError
 from repro.config.presets import apply_preset
 from repro.core.diagnostics import Diagnostic
-from repro.core.linter import Weblint, WeblintError
 from repro.core.reporter import HTMLReporter
+from repro.core.service import LintRequest, LintService, StringSource, URLSource
 from repro.gateway.forms import FormData
 from repro.gateway.htmlreport import (
     escape,
@@ -41,7 +41,7 @@ from repro.gateway.htmlreport import (
     render_table,
 )
 from repro.obs.metrics import get_registry
-from repro.www.client import FetchError, UserAgent
+from repro.www.client import UserAgent
 
 
 class GatewayReporter(HTMLReporter):
@@ -108,22 +108,26 @@ class Gateway:
         except (UnknownMessageError, ValueError, KeyError) as exc:
             return self._error(400, f"Bad options: {exc}")
 
-        weblint = Weblint(options=options)
+        service = LintService(options=options)
         source_kind = sources[0]
         label = "pasted HTML"
-        try:
-            if source_kind == "url":
-                url = form.get("url")
-                label = url
-                diagnostics = weblint.check_url(url, agent=self.agent)
-                body = self.agent.get(url).body if self.agent else ""
-            else:
-                body = form.get(source_kind)
-                if source_kind == "upload":
-                    label = form.get("filename", "uploaded file")
-                diagnostics = weblint.check_string(body, filename=label)
-        except (WeblintError, FetchError) as exc:
-            return self._error(502, f"Could not fetch the page: {exc}")
+        # keep_text=True shares the single fetch/read between linting and
+        # the page-weight table -- the page is never fetched twice.
+        if source_kind == "url":
+            url = form.get("url")
+            label = url
+            request = LintRequest(URLSource(url, agent=self.agent), keep_text=True)
+        else:
+            if source_kind == "upload":
+                label = form.get("filename", "uploaded file")
+            request = LintRequest(
+                StringSource(form.get(source_kind), name=label), keep_text=True
+            )
+        result = service.check(request)
+        if result.error is not None:
+            return self._error(502, f"Could not fetch the page: {result.error}")
+        diagnostics = result.diagnostics
+        body = result.text or ""
 
         return GatewayResponse(
             status=200,

@@ -213,6 +213,44 @@ class MetricsRegistry:
                 lines.append(f"{name}: {value}")
         return lines
 
+    def merge_snapshot(self, snapshot: dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The batch pipeline runs lint workers in separate processes, each
+        recording into its own registry; the parent merges the workers'
+        snapshots back so ``--stats`` (and the stats reporter) stay
+        truthful under parallelism.  Counters add, histograms add
+        bucket-wise, gauges keep the highest high-water mark.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                self.counter(name).inc(int(value))
+            elif isinstance(value, dict) and "buckets" in value:
+                self._merge_histogram(name, value)
+            elif isinstance(value, dict) and "value" in value:
+                self.gauge(name).set_max(
+                    float(value.get("max", value["value"]))
+                )
+
+    def _merge_histogram(self, name: str, value: dict) -> None:
+        bounds = tuple(sorted(
+            float(key[3:]) for key in value["buckets"]
+        ))
+        histogram = self.histogram(name, bounds)
+        position = {bound: index for index, bound in enumerate(histogram.buckets)}
+        for key, count in value["buckets"].items():
+            index = position.get(float(key[3:]))
+            if index is None:
+                histogram.overflow += count
+            else:
+                histogram.counts[index] += count
+        histogram.overflow += int(value.get("overflow", 0))
+        histogram.count += int(value["count"])
+        histogram.total += float(value["sum"])
+        histogram.max = max(histogram.max, float(value["max"]))
+
     def write_json(self, stream: IO[str]) -> None:
         json.dump(self.snapshot(), stream, indent=2)
         stream.write("\n")

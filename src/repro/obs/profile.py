@@ -106,6 +106,25 @@ class RuleProfiler:
             "messages": dict(sorted(self.message_counts.items())),
         }
 
+    def merge_snapshot(self, snapshot: dict[str, object]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        The batch pipeline's workers each profile their own documents;
+        the parent merges them so ``--profile`` under ``--jobs N``
+        reports whole-run totals.
+        """
+        self.documents += int(snapshot.get("documents", 0))
+        for name, data in dict(snapshot.get("rules") or {}).items():
+            self.add(
+                name,
+                float(data["total_ms"]) / 1000.0,
+                calls=int(data["calls"]),
+            )
+        for message_id, count in dict(snapshot.get("messages") or {}).items():
+            self.message_counts[message_id] = (
+                self.message_counts.get(message_id, 0) + int(count)
+            )
+
 
 class timed_section:
     """Context manager recording one elapsed section into a profiler."""

@@ -137,11 +137,16 @@ class Tracer:
         for root in self.roots:
             yield from root.walk()
 
-    def to_jsonlines(self) -> str:
-        """One JSON object per finished span, document order."""
-        lines = []
+    def to_records(self) -> list[dict[str, object]]:
+        """One plain dict per finished span, document order.
+
+        The portable form of the span forest: JSON-able, picklable, and
+        consumable by :meth:`merge_records` in another tracer -- this is
+        how worker processes ship their spans back to the parent.
+        """
+        records = []
         for span, depth in self.iter_spans():
-            lines.append(json.dumps({
+            records.append({
                 "name": span.name,
                 "id": span.span_id,
                 "parent": span.parent_id,
@@ -149,8 +154,36 @@ class Tracer:
                 "start_ms": round((span.start - self.origin) * 1000.0, 3),
                 "duration_ms": round(span.duration_ms, 3),
                 "attrs": {key: _jsonable(value) for key, value in span.attributes.items()},
-            }))
-        return "\n".join(lines)
+            })
+        return records
+
+    def merge_records(self, records: list[dict[str, object]]) -> None:
+        """Graft spans exported by another tracer's :meth:`to_records`.
+
+        Used by the batch pipeline: each worker records into its own
+        tracer and the parent merges the forests, so ``--trace`` under
+        ``--jobs N`` still produces one artefact.  Start offsets stay
+        relative to the worker's origin (wall-clock alignment across
+        processes is not attempted).
+        """
+        grafted: dict[object, Span] = {}
+        for record in records:
+            span = Span(self, str(record["name"]), dict(record.get("attrs") or {}))
+            span.span_id = self._next_id
+            self._next_id += 1
+            span.start = self.origin + float(record.get("start_ms", 0.0)) / 1000.0
+            span.end = span.start + float(record.get("duration_ms", 0.0)) / 1000.0
+            parent = grafted.get(record.get("parent"))
+            if parent is not None:
+                span.parent_id = parent.span_id
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+            grafted[record["id"]] = span
+
+    def to_jsonlines(self) -> str:
+        """One JSON object per finished span, document order."""
+        return "\n".join(json.dumps(record) for record in self.to_records())
 
     def write_jsonlines(self, stream: IO[str]) -> None:
         text = self.to_jsonlines()

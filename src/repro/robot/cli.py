@@ -13,7 +13,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.config.options import Options
-from repro.core.linter import Weblint
+from repro.core.service import LintService
 from repro.obs import use_registry
 from repro.robot.poacher import Poacher
 from repro.robot.traversal import TraversalPolicy
@@ -82,7 +82,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_retries=args.retries,
     )
     poacher = Poacher(
-        agent, weblint=Weblint(options=options), options=options, policy=policy
+        agent, service=LintService(options=options), policy=policy
     )
     with use_registry() as registry:
         report = poacher.crawl(args.start)

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint
+from repro.core.service import LintService, StringSource
 from repro.robot.linkcheck import FragmentChecker, LinkChecker, LinkStatus
 from repro.robot.traversal import Robot, TraversalPolicy
 from repro.site.links import Link
@@ -110,11 +111,17 @@ class Poacher:
         weblint: Optional[Weblint] = None,
         options: Optional[Options] = None,
         policy: Optional[TraversalPolicy] = None,
+        service: Optional[LintService] = None,
     ) -> None:
         self.agent = agent
-        if weblint is None:
-            weblint = Weblint(options=options)
+        if service is None:
+            if weblint is not None:
+                service = weblint.service
+            else:
+                service = LintService(options=options)
+        self.service = service
         self.weblint = weblint
+        self.options = service.options
         self.policy = policy if policy is not None else TraversalPolicy()
         self.robot = Robot(agent, self.policy)
         self.link_checker = LinkChecker(agent)
@@ -123,17 +130,19 @@ class Poacher:
     def crawl(self, start_url: str) -> CrawlReport:
         """Crawl, lint and link-check everything reachable."""
         report = CrawlReport(start_url=start_url)
-        validate = self.weblint.options.follow_links
+        validate = self.options.follow_links
 
         def on_page(url: str, response: Response, links: list[Link]) -> None:
             result = PageResult(
                 url=url,
-                diagnostics=self.weblint.check_string(response.body, filename=url),
+                diagnostics=self.service.check(
+                    StringSource(response.body, name=url)
+                ).diagnostics,
                 links=links,
                 size_bytes=len(response.body),
             )
             if validate:
-                check_fragments = self.weblint.options.is_enabled(
+                check_fragments = self.options.is_enabled(
                     "bad-fragment"
                 )
                 for link in links:

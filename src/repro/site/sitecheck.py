@@ -21,6 +21,7 @@ from typing import Optional, Union
 from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint
+from repro.core.service import LintRequest, LintService, PathSource
 from repro.site.links import Link, extract_anchor_names, extract_links
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
@@ -37,6 +38,9 @@ class SiteReport:
     page_diagnostics: dict[str, list[Diagnostic]] = field(default_factory=dict)
     site_diagnostics: list[Diagnostic] = field(default_factory=list)
     link_graph: list[tuple[str, str]] = field(default_factory=list)
+    #: Error strings for pages that could not be read; they do not abort
+    #: the site check and are excluded from ``pages``.
+    page_errors: list[str] = field(default_factory=list)
 
     def all_diagnostics(self) -> list[Diagnostic]:
         result: list[Diagnostic] = []
@@ -82,11 +86,18 @@ class SiteChecker:
         self,
         weblint: Optional[Weblint] = None,
         options: Optional[Options] = None,
+        service: Optional[LintService] = None,
+        jobs: int = 1,
     ) -> None:
-        if weblint is None:
-            weblint = Weblint(options=options)
+        if service is None:
+            if weblint is not None:
+                service = weblint.service
+            else:
+                service = LintService(options=options)
+        self.service = service
         self.weblint = weblint
-        self.options = weblint.options
+        self.options = service.options
+        self.jobs = jobs
 
     # -- main entry point -------------------------------------------------------
 
@@ -100,18 +111,25 @@ class SiteChecker:
             files = find_html_files(root)
             page_links: dict[str, list[Link]] = {}
 
-            for path in files:
+            # One batch through the lint pipeline (parallel when jobs > 1).
+            # keep_text shares the single read between linting and link
+            # extraction; an unreadable page becomes a structured error
+            # instead of aborting the whole site check.
+            requests = [
+                LintRequest(PathSource(path), keep_text=True) for path in files
+            ]
+            results = self.service.check_many(requests, jobs=self.jobs)
+            for path, result in zip(files, results):
+                if result.error is not None:
+                    report.page_errors.append(result.error)
+                    continue
                 relative = _relative_name(path, root)
                 report.pages.append(relative)
-                report.page_diagnostics[relative] = self.weblint.check_file(path)
+                report.page_diagnostics[relative] = result.diagnostics
                 registry.inc("site.files.checked")
-                try:
-                    source = path.read_text(encoding="utf-8", errors="replace")
-                except OSError:
-                    source = ""
-                page_links[relative] = extract_links(source)
+                page_links[relative] = extract_links(result.text or "")
 
-            with tracer.span("site.analyses", pages=len(files)):
+            with tracer.span("site.analyses", pages=len(report.pages)):
                 self._check_directory_indexes(root, report)
                 self._check_local_links(root, report, page_links)
                 self._check_orphans(root, report, page_links)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config.options import Options
-from repro.core.linter import Weblint
+from repro.core.service import LintRequest, LintService, StringSource
 from repro.testing.samples import SAMPLES, Sample
 
 
@@ -28,15 +28,26 @@ class SampleFailure:
         return "; ".join(parts)
 
 
-def check_sample(sample: Sample) -> SampleFailure | None:
-    """Run one sample; return a failure record or None when it passes."""
-    options = Options.with_defaults()
-    options.spec_name = sample.spec
-    if sample.enable:
-        options.enable(*sample.enable)
-    weblint = Weblint(options=options)
-    got = {d.message_id for d in weblint.check_string(sample.html)}
+#: One service per distinct (spec, enabled-messages) configuration: the
+#: corpus reuses a handful of configurations across hundreds of samples,
+#: so rules and dispatch tables are built once per configuration, not
+#: once per sample.
+_SERVICES: dict[tuple[str, tuple[str, ...]], LintService] = {}
 
+
+def _service_for(sample: Sample) -> LintService:
+    key = (sample.spec, tuple(sample.enable))
+    service = _SERVICES.get(key)
+    if service is None:
+        options = Options.with_defaults()
+        options.spec_name = sample.spec
+        if sample.enable:
+            options.enable(*sample.enable)
+        service = _SERVICES[key] = LintService(options=options)
+    return service
+
+
+def _diff(sample: Sample, got: set[str]) -> SampleFailure | None:
     missing = tuple(sorted(set(sample.expect) - got))
     unexpected = tuple(sorted(set(sample.forbid) & got))
     if missing or unexpected:
@@ -49,11 +60,39 @@ def check_sample(sample: Sample) -> SampleFailure | None:
     return None
 
 
-def run_samples(samples: tuple[Sample, ...] = SAMPLES) -> list[SampleFailure]:
-    """Run the whole corpus; return every failure."""
+def check_sample(sample: Sample) -> SampleFailure | None:
+    """Run one sample; return a failure record or None when it passes."""
+    service = _service_for(sample)
+    result = service.check(StringSource(sample.html))
+    return _diff(sample, {d.message_id for d in result.diagnostics})
+
+
+def run_samples(
+    samples: tuple[Sample, ...] = SAMPLES, jobs: int = 1
+) -> list[SampleFailure]:
+    """Run the whole corpus; return every failure, in sample order.
+
+    Samples are grouped by configuration and each group goes through
+    ``LintService.check_many`` -- one batch per configuration, parallel
+    across worker processes when ``jobs`` asks for it.
+    """
+    groups: dict[tuple[str, tuple[str, ...]], list[int]] = {}
+    for index, sample in enumerate(samples):
+        groups.setdefault((sample.spec, tuple(sample.enable)), []).append(index)
+
+    got: list[set[str]] = [set() for _ in samples]
+    for indices in groups.values():
+        service = _service_for(samples[indices[0]])
+        results = service.check_many(
+            [LintRequest(StringSource(samples[i].html)) for i in indices],
+            jobs=jobs,
+        )
+        for index, result in zip(indices, results):
+            got[index] = {d.message_id for d in result.diagnostics}
+
     failures = []
-    for sample in samples:
-        failure = check_sample(sample)
+    for index, sample in enumerate(samples):
+        failure = _diff(sample, got[index])
         if failure is not None:
             failures.append(failure)
     return failures

@@ -361,3 +361,71 @@ class TestGatewayCli:
         code = gateway_main([""])
         assert code == 1
         assert "Status: 400" in capsys.readouterr().out
+
+
+class TestWeblintCliBatch:
+    """--jobs and the multi-path batch pipeline."""
+
+    @pytest.fixture
+    def many_files(self, tmp_path):
+        paths = []
+        for index in range(6):
+            page = tmp_path / f"page{index}.html"
+            page.write_text(PAPER_EXAMPLE)
+            paths.append(str(page))
+        return paths
+
+    def test_jobs_output_matches_sequential(self, many_files, capsys):
+        assert weblint_main(["--no-config"] + many_files) == 1
+        sequential = capsys.readouterr().out
+        assert weblint_main(["--no-config", "--jobs", "3"] + many_files) == 1
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_jobs_zero_means_cpu_count(self, example_file, capsys):
+        assert weblint_main(["--no-config", "-j", "0", str(example_file)]) == 1
+        assert "first element was not DOCTYPE" in capsys.readouterr().out
+
+    def test_multi_path_json_is_one_document(self, many_files, capsys):
+        import json
+
+        weblint_main(["--no-config", "-f", "json"] + many_files)
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 7 * len(many_files)
+        # Per-file grouping survives aggregation, in input order.
+        assert [entry["file"] for entry in data] == sorted(
+            (entry["file"] for entry in data),
+            key=lambda name: many_files.index(name),
+        )
+
+    def test_multi_path_stats_is_one_document(self, many_files, capsys):
+        import json
+
+        weblint_main(["--no-config", "-f", "stats"] + many_files)
+        data = json.loads(capsys.readouterr().out)
+        assert data["diagnostics"]["total"] == 7 * len(many_files)
+        assert data["metrics"]["lint.files"] == len(many_files)
+
+    def test_missing_file_does_not_kill_batch(
+        self, example_file, tmp_path, capsys
+    ):
+        missing = tmp_path / "gone.html"
+        code = weblint_main(
+            ["--no-config", str(missing), str(example_file)]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot read" in captured.err
+        # The readable file was still checked and reported.
+        assert "first element was not DOCTYPE" in captured.out
+
+    def test_jobs_with_recursion(self, tmp_path, capsys):
+        site = tmp_path / "site"
+        site.mkdir()
+        (site / "index.html").write_text(PAPER_EXAMPLE)
+        (site / "other.html").write_text(PAPER_EXAMPLE)
+        assert (
+            weblint_main(["--no-config", "-R", "--jobs", "2", str(site)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "index.html" in out and "other.html" in out
