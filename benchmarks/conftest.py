@@ -67,6 +67,21 @@ def record_parallel_result(name: str, **values: object) -> None:
     _PARALLEL_RESULTS[name] = dict(values)
 
 
+#: Results the fault-tolerant crawl benchmark (E16) records for
+#: BENCH_crawl.json.
+_CRAWL_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_crawl_result(name: str, **values: object) -> None:
+    """Record one fault-injected crawl measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_crawl.json``
+    carries only the crawl-frontier numbers (sequential vs concurrent
+    wall clock on the slow/faulty site, retries, failure classes).
+    """
+    _CRAWL_RESULTS[name] = dict(values)
+
+
 def record_dispatch_result(name: str, **values: object) -> None:
     """Record one compiled-vs-naive dispatch measurement.
 
@@ -119,6 +134,17 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         try:
             (root / "BENCH_parallel.json").write_text(
                 json.dumps(parallel_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+    if _CRAWL_RESULTS:
+        crawl_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _CRAWL_RESULTS,
+        }
+        try:
+            (root / "BENCH_crawl.json").write_text(
+                json.dumps(crawl_payload, indent=2, sort_keys=True) + "\n"
             )
         except OSError:  # pragma: no cover - read-only checkout
             pass

@@ -4,6 +4,13 @@ Since the reproduction has no live network, the command mounts a local
 directory as ``http://localhost/`` on a virtual web and crawls that --
 the same code path a networked poacher would follow, end to end
 (robots.txt included if the directory contains one).
+
+The resilience layer is fully scriptable: ``--retries``/``--backoff``/
+``--timeout`` configure the transport-level retry policy,
+``--breaker-after`` the per-host circuit breaker, ``--frontier-jobs``/
+``--host-delay`` the concurrent crawl frontier, and ``--fault-rate``/
+``--fault-seed`` inject deterministic transient 503s into the mounted
+site so the whole stack can be exercised without a hostile network.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from repro.core.service import LintService
 from repro.obs import use_registry
 from repro.robot.poacher import Poacher
 from repro.robot.traversal import TraversalPolicy
-from repro.www.client import UserAgent
+from repro.www.client import CircuitBreaker, RetryPolicy, UserAgent
 from repro.www.virtualweb import VirtualWeb
 
 
@@ -56,7 +63,61 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="re-fetch failing URLs up to N extra times",
+        help="retry transient failures (transport errors, 5xx, 429) up "
+        "to N extra times with exponential backoff",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base backoff between retries (default %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request timeout (default: none)",
+    )
+    parser.add_argument(
+        "--breaker-after",
+        type=int,
+        default=0,
+        metavar="N",
+        help="open a per-host circuit breaker after N consecutive "
+        "failures (0 = disabled)",
+    )
+    parser.add_argument(
+        "--frontier-jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fetch the crawl frontier with N worker threads "
+        "(default 1 = sequential; the report is identical either way)",
+    )
+    parser.add_argument(
+        "--host-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="politeness: minimum delay between fetches to one host",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject deterministic transient 503s into P of all "
+        "requests (0..1; exercises the retry path)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for --fault-rate fault placement",
     )
     parser.add_argument(
         "--stats",
@@ -72,14 +133,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     web = VirtualWeb()
     web.add_site("http://localhost/", args.site_dir)
-    agent = UserAgent(web)
+    if args.fault_rate > 0.0:
+        web.faults.seed = args.fault_seed
+        web.add_fault(rate=args.fault_rate, status=503, times=None)
+    agent = UserAgent(
+        web,
+        retry=RetryPolicy(max_retries=max(0, args.retries),
+                          backoff_base_s=args.backoff),
+        breaker=(
+            CircuitBreaker(failure_threshold=args.breaker_after)
+            if args.breaker_after > 0 else None
+        ),
+        timeout_s=args.timeout,
+    )
 
     options = Options.with_defaults()
     options.follow_links = not args.no_links
     policy = TraversalPolicy(
         max_pages=args.max_pages,
         obey_robots_txt=not args.ignore_robots,
-        max_retries=args.retries,
+        concurrency=max(1, args.frontier_jobs),
+        per_host_delay_s=max(0.0, args.host_delay),
     )
     poacher = Poacher(
         agent, service=LintService(options=options), policy=policy
@@ -100,7 +174,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _print_stats(registry, crawl_stats, stream) -> None:
     stream.write("poacher stats:\n")
     for line in registry.summary_lines(
-        defaults=("robot.pages.fetched", "robot.fetch.retries")
+        defaults=(
+            "robot.pages.fetched",
+            "robot.fetch.retries",
+            "robot.fetch.http_errors",
+            "www.retry.attempts",
+        )
     ):
         stream.write(f"  {line}\n")
     if crawl_stats.url_latency_ms:

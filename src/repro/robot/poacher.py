@@ -52,8 +52,15 @@ class CrawlReport:
 
     start_url: str
     pages: list[PageResult] = field(default_factory=list)
+    #: URLs that never produced an HTTP response (transport failures).
     pages_failed: int = 0
+    #: URLs whose final response was a persistent non-2xx status.
+    pages_http_error: int = 0
     urls_skipped_robots: int = 0
+    #: (url, status) for every persistent HTTP error -- broken pages.
+    broken_pages: list[tuple[str, int]] = field(default_factory=list)
+    #: (url, error text) for every transport failure.
+    unreachable_pages: list[tuple[str, str]] = field(default_factory=list)
 
     def page(self, url: str) -> Optional[PageResult]:
         for result in self.pages:
@@ -95,6 +102,10 @@ class CrawlReport:
                     f"    line {link.line}: fragment of {link.url} "
                     f"is not defined on the target page"
                 )
+        for url, status in self.broken_pages:
+            lines.append(f"  broken page {url}: HTTP {status}")
+        for url, error in self.unreachable_pages:
+            lines.append(f"  unreachable page {url}: {error}")
         lines.append(
             f"total: {self.total_problems()} problem(s), "
             f"{self.total_broken_links()} broken link(s)"
@@ -174,6 +185,10 @@ class Poacher:
             report.pages.append(result)
 
         self.robot.crawl(start_url, on_page)
-        report.pages_failed = self.robot.stats.pages_failed
-        report.urls_skipped_robots = self.robot.stats.urls_skipped_robots
+        stats = self.robot.stats
+        report.pages_failed = stats.pages_failed
+        report.pages_http_error = stats.pages_http_error
+        report.urls_skipped_robots = stats.urls_skipped_robots
+        report.broken_pages = sorted(stats.http_error_urls.items())
+        report.unreachable_pages = sorted(stats.failed_urls.items())
         return report

@@ -5,19 +5,43 @@ maintains a frontier and a visited set, restricts itself to the starting
 host by default, honours robots.txt, and hands every fetched page to a
 callback.  Both poacher and ad-hoc scripts build on this engine, just as
 the paper's poacher builds on the Perl robot module.
+
+With ``TraversalPolicy.concurrency > 1`` the frontier runs
+level-synchronously over a thread pool: each BFS wave is fetched in
+parallel (bounded by per-host politeness -- a minimum delay between
+fetches and a max-in-flight cap per host) while results are folded back
+into the crawl **in wave order**, so the visited list, the page
+callbacks and the report are byte-identical to a sequential crawl.
+Only fetch latency overlaps; link extraction and callbacks stay on the
+calling thread.
+
+Fetch outcomes are classified, not collapsed: a URL that never produced
+an HTTP response (connection error, timeout, truncated transfer on every
+attempt) counts in ``CrawlStats.pages_failed`` / ``failed_urls``; a URL
+whose final response was a non-2xx HTTP status counts in
+``pages_http_error`` / ``http_error_urls``.  Retries at this level are
+attempt-count only and skip deterministic 4xx -- give the agent a
+:class:`~repro.www.client.RetryPolicy` for backoff and Retry-After
+handling at the transport layer.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.site.links import extract_links
-from repro.www.client import FetchError, UserAgent
+from repro.www.client import (
+    RETRYABLE_STATUSES,
+    FetchError,
+    UserAgent,
+)
 from repro.www.message import Response
 from repro.www.robotstxt import RobotsTxt
 from repro.www.url import URL, urljoin, urlparse
@@ -34,19 +58,63 @@ class TraversalPolicy:
     obey_robots_txt: bool = True
     follow_resources: bool = False  # also fetch img/script/... targets
     agent_name: str = "poacher-repro/2.0"
-    max_retries: int = 0  # re-fetch a failing URL this many extra times
+    #: Extra fetch attempts per URL on transport errors and transient
+    #: HTTP errors (5xx/429).  Deterministic 4xx are never re-fetched.
+    max_retries: int = 0
+    #: Frontier worker threads; 1 = the classic sequential crawl.
+    concurrency: int = 1
+    #: Politeness: minimum seconds between fetches to the same host.
+    per_host_delay_s: float = 0.0
+    #: At most this many requests in flight against one host.
+    max_in_flight_per_host: int = 4
 
 
 @dataclass
 class CrawlStats:
     pages_fetched: int = 0
+    #: URLs that produced no HTTP response on any attempt (transport).
     pages_failed: int = 0
+    #: URLs whose final response was a persistent non-2xx HTTP status.
+    pages_http_error: int = 0
     urls_skipped_robots: int = 0
     urls_skipped_offsite: int = 0
     retries: int = 0
     bytes_fetched: int = 0
     #: wall time of the fetch (including retries), per requested URL.
     url_latency_ms: dict[str, float] = field(default_factory=dict)
+    #: transport-failed URL -> last error text.
+    failed_urls: dict[str, str] = field(default_factory=dict)
+    #: HTTP-failed URL -> final status code.
+    http_error_urls: dict[str, int] = field(default_factory=dict)
+
+
+class _HostThrottle:
+    """Per-host politeness: an in-flight cap plus a minimum fetch gap."""
+
+    __slots__ = ("_slots", "_lock", "_delay", "_next_ok")
+
+    def __init__(self, delay_s: float, max_in_flight: int) -> None:
+        self._slots = threading.BoundedSemaphore(max(1, max_in_flight))
+        self._lock = threading.Lock()
+        self._delay = max(0.0, delay_s)
+        self._next_ok = 0.0
+
+    def __enter__(self) -> "_HostThrottle":
+        self._slots.acquire()
+        if self._delay:
+            with self._lock:
+                now = time.monotonic()
+                wait = self._next_ok - now
+                self._next_ok = max(now, self._next_ok) + self._delay
+            if wait > 0:
+                get_registry().observe(
+                    "robot.frontier.host_wait_ms", wait * 1000.0
+                )
+                time.sleep(wait)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._slots.release()
 
 
 class Robot:
@@ -61,6 +129,7 @@ class Robot:
         self.policy = policy if policy is not None else TraversalPolicy()
         self.stats = CrawlStats()
         self._robots_cache: dict[str, RobotsTxt] = {}
+        self._stats_lock = threading.Lock()
 
     # -- robots.txt politeness ---------------------------------------------------
 
@@ -100,92 +169,194 @@ class Robot:
 
         ``on_page(url, response, links)`` is called for every
         successfully fetched HTML page.  Returns the list of page URLs
-        visited, in crawl order.
+        visited, in crawl order -- the same order whether the frontier
+        runs sequentially or concurrently.
         """
-        registry = get_registry()
         start = urljoin(start_url, "")
         frontier: deque[str] = deque([str(start.without_fragment())])
         seen: set[str] = set(frontier)
         processed: set[str] = set()  # final URLs handed to on_page
         visited: list[str] = []
 
-        with get_tracer().span("robot.crawl", start=start_url) as crawl_span:
-            while frontier and self.stats.pages_fetched < self.policy.max_pages:
-                url = frontier.popleft()
-                parsed = urlparse(url)
-
-                if self.policy.same_host_only and not parsed.same_host(start):
-                    self.stats.urls_skipped_offsite += 1
-                    continue
-                if not self.allowed(url):
-                    self.stats.urls_skipped_robots += 1
-                    continue
-
-                response = self._fetch(url)
-                if response is None:
-                    self.stats.pages_failed += 1
-                    registry.inc("robot.fetch.failures")
-                    continue
-
-                if response.url in processed:
-                    # A redirect landed on a page already handled (or a page
-                    # both linked directly and reached via redirect earlier).
-                    continue
-                processed.add(response.url)
-                seen.add(response.url)
-                self.stats.pages_fetched += 1
-                self.stats.bytes_fetched += len(response.body)
-                registry.inc("robot.pages.fetched")
-                registry.inc("robot.fetch.bytes", len(response.body))
-                visited.append(response.url)
-                if not response.is_html:
-                    continue
-
-                links = extract_links(response.body)
-                if on_page is not None:
-                    on_page(response.url, response, links)
-
-                for link in links:
-                    if not link.checkable:
-                        continue
-                    if link.kind == "resource" and not self.policy.follow_resources:
-                        continue
-                    absolute = str(
-                        urljoin(response.url, link.url).without_fragment()
-                    )
-                    if absolute not in seen:
-                        seen.add(absolute)
-                        frontier.append(absolute)
-            crawl_span.annotate(pages=self.stats.pages_fetched)
+        with get_tracer().span(
+            "robot.crawl", start=start_url, workers=self.policy.concurrency
+        ) as crawl_span:
+            if self.policy.concurrency > 1:
+                self._crawl_concurrent(
+                    start, frontier, seen, processed, visited, on_page
+                )
+            else:
+                self._crawl_sequential(
+                    start, frontier, seen, processed, visited, on_page
+                )
+            crawl_span.annotate(
+                pages=self.stats.pages_fetched,
+                http_errors=self.stats.pages_http_error,
+                transport_failures=self.stats.pages_failed,
+            )
         return visited
+
+    def _crawl_sequential(
+        self, start, frontier, seen, processed, visited, on_page
+    ) -> None:
+        while frontier and self.stats.pages_fetched < self.policy.max_pages:
+            url = frontier.popleft()
+            if not self._admit(url, start):
+                continue
+            response = self._fetch(url)
+            self._consume(
+                url, response, frontier, seen, processed, visited, on_page
+            )
+
+    def _crawl_concurrent(
+        self, start, frontier, seen, processed, visited, on_page
+    ) -> None:
+        """Level-synchronous BFS: fetch each wave in parallel, fold in order.
+
+        Equivalent to the sequential crawl except for wall-clock: admit
+        checks happen when a wave is formed (so the robots/offsite skip
+        counters can run ahead of a ``max_pages`` cutoff) and a cutoff
+        mid-wave discards already-issued fetches instead of never
+        issuing them.
+        """
+        registry = get_registry()
+        tracer = get_tracer()
+        throttles: dict[str, _HostThrottle] = {}
+        throttles_lock = threading.Lock()
+
+        def fetch_one(url: str) -> Optional[Response]:
+            host = urlparse(url).host
+            with throttles_lock:
+                throttle = throttles.get(host)
+                if throttle is None:
+                    throttle = throttles[host] = _HostThrottle(
+                        self.policy.per_host_delay_s,
+                        self.policy.max_in_flight_per_host,
+                    )
+            with throttle:
+                return self._fetch(url)
+
+        registry.gauge_max("robot.frontier.workers", self.policy.concurrency)
+        with ThreadPoolExecutor(
+            max_workers=self.policy.concurrency,
+            thread_name_prefix="frontier",
+        ) as pool:
+            while frontier and self.stats.pages_fetched < self.policy.max_pages:
+                wave = []
+                while frontier:
+                    url = frontier.popleft()
+                    if self._admit(url, start):
+                        wave.append(url)
+                if not wave:
+                    break
+                registry.inc("robot.frontier.waves")
+                registry.gauge_max("robot.frontier.wave_size", len(wave))
+                with tracer.span("robot.frontier.wave", urls=len(wave)):
+                    futures = [pool.submit(fetch_one, url) for url in wave]
+                    for url, future in zip(wave, futures):
+                        response = future.result()
+                        if self.stats.pages_fetched >= self.policy.max_pages:
+                            continue  # cutoff: drain remaining futures
+                        self._consume(
+                            url, response, frontier, seen, processed,
+                            visited, on_page,
+                        )
+
+    # -- shared crawl steps ------------------------------------------------------
+
+    def _admit(self, url: str, start: URL) -> bool:
+        """Offsite and robots.txt filtering (main thread only)."""
+        parsed = urlparse(url)
+        if self.policy.same_host_only and not parsed.same_host(start):
+            self.stats.urls_skipped_offsite += 1
+            return False
+        if not self.allowed(url):
+            self.stats.urls_skipped_robots += 1
+            return False
+        return True
+
+    def _consume(
+        self, url, response, frontier, seen, processed, visited, on_page
+    ) -> None:
+        """Fold one fetch outcome into the crawl (main thread only)."""
+        registry = get_registry()
+        if response is None:
+            self.stats.pages_failed += 1
+            registry.inc("robot.fetch.failures")
+            return
+        if not response.ok:
+            self.stats.pages_http_error += 1
+            self.stats.http_error_urls[url] = response.status
+            registry.inc("robot.fetch.http_errors")
+            return
+
+        if response.url in processed:
+            # A redirect landed on a page already handled (or a page
+            # both linked directly and reached via redirect earlier).
+            return
+        processed.add(response.url)
+        seen.add(response.url)
+        self.stats.pages_fetched += 1
+        self.stats.bytes_fetched += len(response.body)
+        registry.inc("robot.pages.fetched")
+        registry.inc("robot.fetch.bytes", len(response.body))
+        visited.append(response.url)
+        if not response.is_html:
+            return
+
+        links = extract_links(response.body)
+        if on_page is not None:
+            on_page(response.url, response, links)
+
+        for link in links:
+            if not link.checkable:
+                continue
+            if link.kind == "resource" and not self.policy.follow_resources:
+                continue
+            absolute = str(
+                urljoin(response.url, link.url).without_fragment()
+            )
+            if absolute not in seen:
+                seen.add(absolute)
+                frontier.append(absolute)
 
     def _fetch(self, url: str):
         """One URL, with up to ``policy.max_retries`` re-attempts.
 
+        Retries only outcomes that can change: transport errors and
+        transient HTTP statuses (5xx/429).  The last response -- OK or
+        not -- is returned so a persistent 404/500 is reported as an
+        HTTP error; ``None`` means no attempt produced a response.
         Records the per-URL fetch latency (wall time across all
         attempts) into ``stats.url_latency_ms`` and the
-        ``robot.fetch.latency_ms`` histogram; returns ``None`` when every
-        attempt failed.
+        ``robot.fetch.latency_ms`` histogram.  Safe to call from
+        frontier worker threads.
         """
         registry = get_registry()
         start = time.perf_counter()
         response = None
+        last_error: Optional[FetchError] = None
         try:
             # A negative max_retries must still mean one attempt.
             for attempt in range(max(0, self.policy.max_retries) + 1):
                 if attempt:
-                    self.stats.retries += 1
+                    with self._stats_lock:
+                        self.stats.retries += 1
                     registry.inc("robot.fetch.retries")
                 registry.inc("robot.fetch.requests")
                 try:
                     candidate = self.agent.get(url)
-                except FetchError:
+                except FetchError as error:
+                    last_error = error
                     continue
-                if candidate.ok:
-                    response = candidate
+                response = candidate
+                if candidate.ok or candidate.status not in RETRYABLE_STATUSES:
                     break
         finally:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
-            self.stats.url_latency_ms[url] = elapsed_ms
+            with self._stats_lock:
+                self.stats.url_latency_ms[url] = elapsed_ms
+                if response is None and last_error is not None:
+                    self.stats.failed_urls[url] = str(last_error)
             registry.observe("robot.fetch.latency_ms", elapsed_ms)
         return response

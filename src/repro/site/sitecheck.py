@@ -7,8 +7,12 @@ site-level analyses the paper attaches to the ``-R`` switch:
 - ``orphan-page``: pages no other checked page links to;
 - ``bad-link``: relative links whose target file does not exist.
 
-External (``http:`` ...) links are left to the poacher robot -- exactly
-the division of labour the paper describes between ``-R`` and the robot.
+External (``http:`` ...) links are left to the poacher robot by default
+-- exactly the division of labour the paper describes between ``-R``
+and the robot.  Pass a ``UserAgent`` (ideally one with a
+:class:`~repro.www.client.RetryPolicy`) as ``agent=`` and the site
+check HEAD-validates external links too, through the same resilient
+fetch path the robot uses.
 """
 
 from __future__ import annotations
@@ -88,6 +92,7 @@ class SiteChecker:
         options: Optional[Options] = None,
         service: Optional[LintService] = None,
         jobs: int = 1,
+        agent=None,
     ) -> None:
         if service is None:
             if weblint is not None:
@@ -98,6 +103,8 @@ class SiteChecker:
         self.weblint = weblint
         self.options = service.options
         self.jobs = jobs
+        #: Optional UserAgent; when set, external links are validated.
+        self.agent = agent
 
     # -- main entry point -------------------------------------------------------
 
@@ -132,6 +139,7 @@ class SiteChecker:
             with tracer.span("site.analyses", pages=len(report.pages)):
                 self._check_directory_indexes(root, report)
                 self._check_local_links(root, report, page_links)
+                self._check_external_links(report, page_links)
                 self._check_orphans(root, report, page_links)
         registry.observe("site.check_ms", (time.perf_counter() - start) * 1000.0)
         return report
@@ -224,6 +232,39 @@ class SiteChecker:
                     self._check_fragment(
                         report, page, link, resolved, fragment, anchor_cache
                     )
+
+    def _check_external_links(
+        self,
+        report: SiteReport,
+        page_links: dict[str, list[Link]],
+    ) -> None:
+        """HEAD-validate absolute ``http(s):`` links via ``self.agent``.
+
+        Uses the robot's :class:`LinkChecker` (one cached HEAD per
+        unique URL across the whole site), so a retry policy or circuit
+        breaker configured on the agent protects the site check too.
+        """
+        if self.agent is None or not self.options.follow_links:
+            return
+        from repro.robot.linkcheck import LinkChecker
+
+        checker = LinkChecker(self.agent)
+        for page, links in sorted(page_links.items()):
+            for link in links:
+                if link.scheme not in ("http", "https") or not link.checkable:
+                    continue
+                status = checker.check(link.url, link.url)
+                if status.broken:
+                    self._emit(
+                        report,
+                        "bad-link",
+                        filename=page,
+                        line=link.line,
+                        attach_to=page,
+                        target=link.url,
+                        status=status.describe(),
+                    )
+        get_registry().inc("site.external_links.checked", checker.checked_count)
 
     def _check_fragment(
         self,

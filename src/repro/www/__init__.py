@@ -1,4 +1,4 @@
-"""In-memory web substrate -- the LWP substitution.
+"""In-memory web substrate -- the LWP substitution, faults included.
 
 The paper's weblint uses Gisle Aas' LWP for "all retrieving of pages and
 similar operations" (section 5.7): ``check_url``, the gateway's URL
@@ -7,22 +7,55 @@ reproduction substitutes a complete in-process equivalent:
 
 - :mod:`repro.www.url` -- URL parsing, normalisation and reference
   resolution (the subset of RFC 1808/3986 a link checker needs);
-- :mod:`repro.www.message` -- request/response objects with status codes;
+- :mod:`repro.www.message` -- request/response objects with status codes
+  and a per-request timeout;
 - :mod:`repro.www.virtualweb` -- an in-memory web: named hosts serving
-  pages, redirects, slow pages and broken links, deterministic and
-  inspectable;
+  pages, redirects and broken links, deterministic and inspectable;
+- :mod:`repro.www.faults` -- the hostile-internet model: per-URL and
+  per-host fault rules (transient 5xx, connection errors, 429 +
+  ``Retry-After``, truncated bodies) and simulated latency, either
+  counted (``times=N``, then the resource recovers) or drawn from a
+  seeded per-``(url, attempt)`` rate that is deterministic regardless
+  of request interleaving;
 - :mod:`repro.www.client` -- a ``UserAgent`` that performs GET/HEAD
-  against a virtual web (or anything with a ``handle`` method), following
-  redirects;
+  against a virtual web (or anything with a ``handle`` method),
+  following redirects, and optionally survives that hostility: a
+  :class:`~repro.www.client.RetryPolicy` (bounded exponential backoff
+  with deterministic jitter, retrying only transport errors and
+  5xx/429 -- never deterministic 4xx -- and honouring ``Retry-After``),
+  a per-request timeout, and a per-host
+  :class:`~repro.www.client.CircuitBreaker` that fails fast instead of
+  hammering a dead host;
 - :mod:`repro.www.robotstxt` -- robots.txt parsing for polite robots.
+
+Failure reporting draws one line precisely: an outcome with an HTTP
+status -- even a persistent 500 after the retry budget -- is returned as
+a :class:`~repro.www.message.Response`; only a request that never
+produced a response raises :class:`~repro.www.client.FetchError`.  The
+crawling layers keep the two classes apart all the way up their stats.
 
 The substitution preserves the paper-relevant behaviour: fetching pages,
 following redirects, observing 404s for the broken-link reports, and
-obeying robots.txt -- all the code paths weblint, the gateway and poacher
-exercise against the real web.
+obeying robots.txt -- plus the unreliable-network behaviour the paper's
+robot met crawling Canon's site (section 5.3) and our retry machinery
+is tested against.
 """
 
-from repro.www.client import UserAgent
+from repro.www.client import (
+    CircuitBreaker,
+    FetchError,
+    HostUnavailableError,
+    NoNetworkError,
+    RetryPolicy,
+    UserAgent,
+)
+from repro.www.faults import (
+    ConnectionFault,
+    FaultInjector,
+    FaultRule,
+    TimeoutFault,
+    TransportError,
+)
 from repro.www.message import Request, Response
 from repro.www.robotstxt import RobotsTxt
 from repro.www.url import URL, urljoin, urlparse
@@ -36,5 +69,15 @@ __all__ = [
     "Response",
     "VirtualWeb",
     "UserAgent",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FetchError",
+    "NoNetworkError",
+    "HostUnavailableError",
+    "TransportError",
+    "ConnectionFault",
+    "TimeoutFault",
+    "FaultInjector",
+    "FaultRule",
     "RobotsTxt",
 ]

@@ -5,14 +5,40 @@ Performs GET/HEAD requests against a :class:`~repro.www.virtualweb.VirtualWeb`
 redirects with loop detection, and optionally caching responses -- the
 facilities weblint's ``check_url``, the gateway and the poacher robot rely
 on.
+
+On top of the basic fetch path sits the resilience layer the crawling
+front-ends need against an unreliable web:
+
+- :class:`RetryPolicy`: bounded exponential backoff with deterministic
+  jitter for *retryable* outcomes only -- transport errors (connection
+  failures, timeouts, truncated bodies) and retryable statuses (5xx,
+  429).  Deterministic 4xx responses are never retried.  A ``Retry-After``
+  header on a 429/503 is honoured.  When the budget is exhausted on a
+  persistent HTTP error the last response is returned (so callers report
+  an HTTP failure, not a transport one); a persistent transport error
+  raises :class:`FetchError`.
+- :class:`CircuitBreaker`: per-host closed/open/half-open breaker.  After
+  ``failure_threshold`` consecutive failures the host is short-circuited
+  (:class:`HostUnavailableError`, no request issued) until
+  ``reset_after_s`` has passed, when a single half-open probe decides
+  whether to close the circuit again.
+- Per-request timeout (``timeout_s``), enforced by the virtual web's
+  latency simulation.
+
+Both knobs are off by default: a bare ``UserAgent(web)`` behaves exactly
+like the paper's simple LWP user agent.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Optional
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.obs.metrics import get_registry
+from repro.www.faults import TransportError
 from repro.www.message import Request, Response
 from repro.www.url import urljoin, urlparse
 
@@ -30,6 +56,142 @@ class NoNetworkError(FetchError):
     """
 
 
+class HostUnavailableError(FetchError):
+    """The per-host circuit breaker is open; no request was issued."""
+
+
+#: Statuses worth retrying: transient server errors and throttling.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the agent retries one request.
+
+    Backoff for attempt *n* (0-based) is ``backoff_base_s * 2**n``,
+    capped at ``backoff_max_s``, stretched by up to ``jitter`` of itself.
+    The jitter is deterministic -- derived from a stable hash of
+    ``(url, attempt)`` -- so a crawl's timing is reproducible and
+    independent of thread scheduling.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+    retry_statuses: frozenset[int] = RETRYABLE_STATUSES
+    honor_retry_after: bool = True
+
+    def retryable_status(self, status: int) -> bool:
+        return status in self.retry_statuses
+
+    def backoff_s(
+        self, url: str, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        delay = min(self.backoff_base_s * (2 ** attempt), self.backoff_max_s)
+        fraction = zlib.crc32(f"{url}#{attempt}".encode("utf-8")) / 0xFFFFFFFF
+        delay *= 1.0 + self.jitter * fraction
+        if retry_after is not None and self.honor_retry_after:
+            delay = max(delay, retry_after)
+        return delay
+
+
+#: The do-nothing policy a bare UserAgent runs with.
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+class CircuitBreaker:
+    """Per-host circuit breaker (closed -> open -> half-open -> ...).
+
+    ``failure_threshold`` consecutive failures open the circuit for
+    ``reset_after_s`` seconds; while open, :meth:`allow` is False and the
+    agent fails fast without touching the host.  After the window one
+    probe request is let through: success closes the circuit, failure
+    re-opens it for another full window.  Thread-safe -- the concurrent
+    crawl frontier shares one breaker across its workers.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = max(1, failure_threshold)
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures: dict[str, int] = {}
+        self._state: dict[str, str] = {}
+        self._opened_at: dict[str, float] = {}
+
+    def state(self, host: str) -> str:
+        with self._lock:
+            return self._state.get(host, self.CLOSED)
+
+    def allow(self, host: str) -> bool:
+        """May a request to ``host`` be issued right now?"""
+        with self._lock:
+            state = self._state.get(host, self.CLOSED)
+            if state == self.CLOSED:
+                return True
+            if state == self.OPEN:
+                if self._clock() - self._opened_at[host] >= self.reset_after_s:
+                    self._state[host] = self.HALF_OPEN
+                    get_registry().inc("www.breaker.probes")
+                    return True
+                return False
+            # Half-open: one probe is already in flight; hold the rest.
+            return False
+
+    def record_success(self, host: str) -> None:
+        with self._lock:
+            self._failures[host] = 0
+            if self._state.get(host, self.CLOSED) != self.CLOSED:
+                self._state[host] = self.CLOSED
+                get_registry().inc("www.breaker.closed")
+
+    def record_failure(self, host: str) -> None:
+        with self._lock:
+            state = self._state.get(host, self.CLOSED)
+            failures = self._failures.get(host, 0) + 1
+            self._failures[host] = failures
+            if state == self.HALF_OPEN or failures >= self.failure_threshold:
+                if state != self.OPEN:
+                    get_registry().inc("www.breaker.opened")
+                self._state[host] = self.OPEN
+                self._opened_at[host] = self._clock()
+
+    def open_hosts(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                host for host, state in self._state.items()
+                if state == self.OPEN
+            )
+
+
+@dataclass
+class _Outcome:
+    """What one wire attempt produced."""
+
+    response: Optional[Response] = None
+    error: Optional[TransportError] = None
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        if self.response is None:
+            return None
+        value = self.response.headers.get("Retry-After")
+        if value is None:
+            return None
+        try:
+            return float(value)
+        except ValueError:
+            return None
+
+
 class UserAgent:
     """A small, polite HTTP client for the virtual web."""
 
@@ -39,10 +201,18 @@ class UserAgent:
         max_redirects: int = 5,
         agent_name: str = "weblint-repro/2.0",
         cache: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        timeout_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.web = web
         self.max_redirects = max_redirects
         self.agent_name = agent_name
+        self.retry = retry if retry is not None else NO_RETRY
+        self.breaker = breaker
+        self.timeout_s = timeout_s
+        self._sleep = sleep
         self._cache: Optional[dict[tuple[str, str], Response]] = {} if cache else None
         self.requests_made = 0
 
@@ -64,9 +234,11 @@ class UserAgent:
         registry = get_registry()
         url = str(urlparse(url).normalised().without_fragment())
         cache_key = (method.upper(), url)
-        if self._cache is not None and cache_key in self._cache:
-            registry.inc("www.cache.hits")
-            return self._cache[cache_key]
+        if self._cache is not None:
+            if cache_key in self._cache:
+                registry.inc("www.cache.hits")
+                return self._cache[cache_key]
+            registry.inc("www.cache.misses")
 
         start = time.perf_counter()
         seen: list[str] = []
@@ -76,10 +248,7 @@ class UserAgent:
             if current in seen:
                 raise FetchError(f"redirect loop: {' -> '.join(seen + [current])}")
             seen.append(current)
-            request = Request(method=method, url=current)
-            request.headers.set("User-Agent", self.agent_name)
-            self.requests_made += 1
-            response = self.web.handle(request)
+            response = self._issue(method, current)
             if not response.is_redirect or response.location is None:
                 break
             current = str(urljoin(current, response.location).without_fragment())
@@ -103,9 +272,85 @@ class UserAgent:
         registry.observe(
             "www.fetch.latency_ms", (time.perf_counter() - start) * 1000.0
         )
-        if self._cache is not None:
+        # Never cache failures: with caching on, a cached 404/503 would
+        # be re-served to every retry and every later crawl of the URL.
+        if self._cache is not None and final.ok:
             self._cache[cache_key] = final
         return final
+
+    # -- the resilient single-hop fetch ----------------------------------------
+
+    def _issue(self, method: str, url: str) -> Response:
+        """One redirect hop: attempt + retries + breaker accounting.
+
+        Returns the final response -- which may be a non-OK HTTP error
+        once the retry budget is spent -- or raises :class:`FetchError`
+        when no attempt produced a response at all.
+        """
+        registry = get_registry()
+        host = urlparse(url).host
+        policy = self.retry
+        outcome = _Outcome()
+        for attempt in range(policy.max_retries + 1):
+            if self.breaker is not None and not self.breaker.allow(host):
+                registry.inc("www.breaker.short_circuits")
+                raise HostUnavailableError(
+                    f"circuit open for host {host!r}; not fetching {url}"
+                )
+            if attempt:
+                delay = policy.backoff_s(url, attempt - 1, outcome.retry_after)
+                registry.inc("www.retry.attempts")
+                registry.observe("www.retry.backoff_ms", delay * 1000.0)
+                if outcome.retry_after is not None:
+                    registry.inc("www.retry.retry_after_honored")
+                self._sleep(delay)
+            outcome = self._attempt(method, url)
+            if outcome.error is None and outcome.response is not None:
+                response = outcome.response
+                retryable = policy.retryable_status(response.status)
+                if self.breaker is not None:
+                    if retryable or response.status >= 500:
+                        self.breaker.record_failure(host)
+                    else:
+                        self.breaker.record_success(host)
+                if not retryable:
+                    return response
+            else:
+                registry.inc("www.fetch.transport_errors")
+                if self.breaker is not None:
+                    self.breaker.record_failure(host)
+        registry.inc("www.retry.giveups")
+        if outcome.error is None and outcome.response is not None:
+            # Budget spent on a persistent retryable status: hand the
+            # HTTP error back so callers classify it as such.
+            return outcome.response
+        raise FetchError(
+            f"could not fetch {url}: {outcome.error}"
+        ) from outcome.error
+
+    def _attempt(self, method: str, url: str) -> _Outcome:
+        """One wire attempt; truncated bodies count as transport errors."""
+        request = Request(method=method, url=url, timeout_s=self.timeout_s)
+        request.headers.set("User-Agent", self.agent_name)
+        self.requests_made += 1
+        try:
+            response = self.web.handle(request)
+        except TransportError as error:
+            return _Outcome(error=error)
+        if method == "GET" and not response.is_redirect:
+            declared = response.headers.get("Content-Length")
+            if declared is not None and declared.isdigit():
+                actual = len(response.body.encode("utf-8"))
+                if actual < int(declared):
+                    get_registry().inc("www.fetch.truncated")
+                    return _Outcome(
+                        response=response,
+                        error=TransportError(
+                            f"truncated body fetching {url}: got {actual} "
+                            f"of {declared} bytes"
+                        ),
+                    )
+        return _Outcome(response=response)
 
     # -- conveniences ---------------------------------------------------------------
 

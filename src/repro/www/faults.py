@@ -1,0 +1,198 @@
+"""Fault injection for the virtual web -- the hostile-internet model.
+
+The paper's poacher crawled the real Canon site: servers that time out,
+return transient 500s, throttle with 429s, drop connections or truncate
+bodies mid-transfer.  A :class:`FaultInjector` attaches those behaviours
+to a :class:`~repro.www.virtualweb.VirtualWeb` so the retry/backoff/
+circuit-breaker machinery in :mod:`repro.www.client` and the crawl
+frontier in :mod:`repro.robot.traversal` are exercised against the same
+failure modes -- deterministically.
+
+Two matching modes per rule:
+
+- ``times=N``: the first N matching requests *per URL* fault, then the
+  resource recovers (a transient outage).  ``times=None`` never
+  recovers (a dead host).
+- ``rate=0.2``: a seeded, per-``(url, attempt)`` deterministic 20% of
+  requests fault.  The decision depends only on the URL, the attempt
+  index and the seed -- never on global request ordering -- so a
+  concurrent crawl sees exactly the faults a sequential one does.
+  ``max_run`` bounds consecutive faults per URL, guaranteeing any
+  retry budget > ``max_run`` eventually succeeds.
+
+Fault kinds: ``"status"`` (an HTTP error response, optionally with
+``Retry-After``), ``"connection"`` (raises :class:`ConnectionFault`
+before any response exists) and ``"truncate"`` (the body is cut short
+while ``Content-Length`` still advertises the full size).  Latency is
+configured separately with :meth:`FaultInjector.set_latency` and
+interacts with the client's per-request timeout.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TransportError(Exception):
+    """The request produced no HTTP response at all (the wire failed)."""
+
+
+class ConnectionFault(TransportError):
+    """Connection refused / reset -- the host never answered."""
+
+
+class TimeoutFault(TransportError):
+    """The response did not arrive within the request's timeout."""
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent 32-bit hash (``hash()`` is salted)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+@dataclass
+class FaultRule:
+    """One fault behaviour bound to a URL or a whole host.
+
+    Exactly one of ``url`` / ``host`` should be set; a rule with neither
+    matches every request.  ``times`` counts *per URL*, so a host-wide
+    transient rule makes each page fail its first N fetches rather than
+    the host's first N requests overall.
+    """
+
+    kind: str = "status"  # "status" | "connection" | "truncate"
+    url: Optional[str] = None   # normalised absolute URL to match
+    host: Optional[str] = None  # or: every URL on this host
+    status: int = 503
+    retry_after: Optional[float] = None  # seconds, sent with the error
+    times: Optional[int] = None  # faults per URL; None = every request
+    rate: Optional[float] = None  # seeded probability instead of times
+    max_run: int = 3  # rate mode: max consecutive faults per URL
+    truncate_to: int = 0  # "truncate": characters of body kept
+
+    _seen: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("status", "connection", "truncate"):
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.rate is not None and not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"fault rate must be in [0, 1]: {self.rate!r}")
+
+    def matches(self, url: str, host: str) -> bool:
+        if self.url is not None:
+            return url == self.url
+        if self.host is not None:
+            return host == self.host
+        return True
+
+    def _rate_faults(self, url: str, attempt: int, seed: int) -> bool:
+        """Deterministic per-(url, attempt) draw, capped at ``max_run``."""
+        def draw(index: int) -> bool:
+            rng = random.Random(_stable_hash(f"{url}#{index}") ^ seed)
+            return rng.random() < (self.rate or 0.0)
+
+        if not draw(attempt):
+            return False
+        # Force a success after max_run consecutive faults so bounded
+        # retry budgets always converge.
+        if attempt >= self.max_run and all(
+            draw(index) for index in range(attempt - self.max_run, attempt)
+        ):
+            return False
+        return True
+
+    def applies(self, url: str, seed: int) -> bool:
+        """Consume one attempt for ``url``; True when this request faults."""
+        attempt = self._seen.get(url, 0)
+        self._seen[url] = attempt + 1
+        if self.rate is not None:
+            return self._rate_faults(url, attempt, seed)
+        if self.times is None:
+            return True
+        return attempt < self.times
+
+
+class FaultInjector:
+    """The fault configuration a :class:`VirtualWeb` consults per request.
+
+    Thread-safe: the crawl frontier fetches from worker threads, and the
+    per-URL attempt counters must not race.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rules: list[FaultRule] = []
+        self._latency: list[tuple[Optional[str], Optional[str], float]] = []
+        self._lock = threading.Lock()
+        #: How many requests each rule actually faulted (inspectability).
+        self.faults_injected = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self._rules.append(rule)
+        return rule
+
+    def add_fault(
+        self,
+        url: Optional[str] = None,
+        host: Optional[str] = None,
+        *,
+        kind: str = "status",
+        status: int = 503,
+        retry_after: Optional[float] = None,
+        times: Optional[int] = 1,
+        rate: Optional[float] = None,
+        max_run: int = 3,
+        truncate_to: int = 0,
+    ) -> FaultRule:
+        """Install one fault rule (see :class:`FaultRule` for semantics)."""
+        return self.add_rule(FaultRule(
+            kind=kind, url=url, host=host, status=status,
+            retry_after=retry_after, times=times, rate=rate,
+            max_run=max_run, truncate_to=truncate_to,
+        ))
+
+    def kill_host(self, host: str) -> FaultRule:
+        """Every request to ``host`` fails with a connection error, forever."""
+        return self.add_fault(host=host, kind="connection", times=None)
+
+    def set_latency(
+        self,
+        url: Optional[str] = None,
+        host: Optional[str] = None,
+        *,
+        seconds: float,
+    ) -> None:
+        """Every matching response takes ``seconds`` to arrive."""
+        self._latency.append((url, host, max(0.0, seconds)))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rules.clear()
+            self._latency.clear()
+
+    # -- per-request decisions ---------------------------------------------
+
+    def latency_for(self, url: str, host: str) -> float:
+        delay = 0.0
+        for rule_url, rule_host, seconds in self._latency:
+            if rule_url is not None:
+                if url == rule_url:
+                    delay = max(delay, seconds)
+            elif rule_host is None or host == rule_host:
+                delay = max(delay, seconds)
+        return delay
+
+    def fault_for(self, url: str, host: str) -> Optional[FaultRule]:
+        """The first rule faulting this request, consuming its budget."""
+        with self._lock:
+            for rule in self._rules:
+                if rule.matches(url, host) and rule.applies(url, self.seed):
+                    self.faults_injected += 1
+                    return rule
+        return None

@@ -28,6 +28,7 @@ REASON_PHRASES = {
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 REDIRECT_STATUSES = frozenset({301, 302, 303, 307})
@@ -72,11 +73,17 @@ class Headers:
 
 @dataclass
 class Request:
-    """One request to the (virtual) web."""
+    """One request to the (virtual) web.
+
+    ``timeout_s`` is the client's per-request deadline; the virtual web
+    honours it when simulating latency (a slower response becomes a
+    :class:`~repro.www.faults.TimeoutFault`).
+    """
 
     method: str
     url: str
     headers: Headers = field(default_factory=Headers)
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.method = self.method.upper()

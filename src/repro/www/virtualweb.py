@@ -15,14 +15,34 @@ Typical setup::
 
 A whole site can be mounted from a directory tree or a mapping with
 :meth:`VirtualWeb.add_site`.
+
+The web is perfectly reliable by default.  To model the internet the
+paper's poacher actually crawled, attach faults (see
+:mod:`repro.www.faults`)::
+
+    web.add_fault(host="example.com", status=503, times=2)  # transient
+    web.kill_host("dead.example")            # connection errors, forever
+    web.set_latency(host="slow.example", seconds=0.2)  # slow pages
+
+Latency interacts with the client's per-request timeout: a response
+slower than ``Request.timeout_s`` raises :class:`TimeoutFault` after
+sleeping only the timeout, which the resilient ``UserAgent`` treats as
+a retryable transport failure.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import Callable, Mapping, Optional, Union
 
+from repro.www.faults import (
+    ConnectionFault,
+    FaultInjector,
+    FaultRule,
+    TimeoutFault,
+)
 from repro.www.message import Headers, Request, Response, reason_for
 from repro.www.url import URL, urlparse
 
@@ -44,10 +64,27 @@ def _key(url: Union[str, URL]) -> tuple[str, Optional[int], str]:
 class VirtualWeb:
     """A dictionary of URLs behaving like servers."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        faults: Optional[FaultInjector] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self._resources: dict[tuple[str, Optional[int], str], _Resource] = {}
         self.request_log: list[Request] = []
         self.hit_counts: dict[str, int] = {}
+        self.faults = faults if faults is not None else FaultInjector()
+        self._sleep = sleep
+
+    # -- fault-injection conveniences (delegating to the injector) ----------
+
+    def add_fault(self, url: Optional[str] = None, **kwargs) -> FaultRule:
+        return self.faults.add_fault(url, **kwargs)
+
+    def kill_host(self, host: str) -> FaultRule:
+        return self.faults.kill_host(host)
+
+    def set_latency(self, url: Optional[str] = None, **kwargs) -> None:
+        self.faults.set_latency(url, **kwargs)
 
     # -- population ---------------------------------------------------------
 
@@ -134,16 +171,35 @@ class VirtualWeb:
 
     def handle(self, request: Request) -> Response:
         """Serve one request (no redirect following -- that is the client's
-        job, so the redirect-handling code path is actually exercised)."""
+        job, so the redirect-handling code path is actually exercised).
+
+        Consults the fault injector first: simulated latency (bounded by
+        the request's timeout), connection errors, injected error
+        statuses and truncated bodies all happen here, exactly where a
+        real server would produce them.
+        """
         self.request_log.append(request)
-        normalised = str(urlparse(request.url).normalised().without_fragment())
+        parsed = urlparse(request.url).normalised()
+        normalised = str(parsed.without_fragment())
         self.hit_counts[normalised] = self.hit_counts.get(normalised, 0) + 1
+
+        self._simulate_latency(request, normalised, parsed.host)
+        fault = self.faults.fault_for(normalised, parsed.host)
+        if fault is not None and fault.kind == "connection":
+            raise ConnectionFault(f"connection failed: {request.url}")
+        if fault is not None and fault.kind == "status":
+            return self._respond(
+                request,
+                status=fault.status,
+                body=_error_body(fault.status),
+                headers=self._fault_headers(fault),
+            )
 
         resource = self._resources.get(_key(request.url))
         if resource is None:
-            return Response(
+            return self._respond(
+                request,
                 status=404,
-                url=request.url,
                 body=_error_body(404),
                 headers=Headers({"Content-Type": "text/html"}),
             )
@@ -153,17 +209,65 @@ class VirtualWeb:
         if resource.location is not None:
             headers.set("Location", resource.location)
         body = resource.body
-        if request.method == "HEAD":
-            body = ""
-        elif resource.status >= 400 and not body:
+        if resource.status >= 400 and not body:
             body = _error_body(resource.status)
-        headers.set("Content-Length", str(len(resource.body)))
-        return Response(
+        truncate_to = (
+            fault.truncate_to
+            if fault is not None and fault.kind == "truncate"
+            else None
+        )
+        return self._respond(
+            request,
             status=resource.status,
-            url=request.url,
             body=body,
             headers=headers,
+            truncate_to=truncate_to,
         )
+
+    def _respond(
+        self,
+        request: Request,
+        *,
+        status: int,
+        body: str,
+        headers: Headers,
+        truncate_to: Optional[int] = None,
+    ) -> Response:
+        """Finish a response: correct Content-Length, HEAD and truncation.
+
+        ``Content-Length`` always advertises the UTF-8 byte length of
+        the *full* GET body -- also for HEAD requests (which carry no
+        body, per HTTP) and for truncated responses (that mismatch is
+        how the client detects the truncation).
+        """
+        headers.set("Content-Length", str(len(body.encode("utf-8"))))
+        if request.method == "HEAD":
+            body = ""
+        elif truncate_to is not None:
+            body = body[:truncate_to]
+        return Response(
+            status=status, url=request.url, body=body, headers=headers
+        )
+
+    def _simulate_latency(self, request: Request, url: str, host: str) -> None:
+        delay = self.faults.latency_for(url, host)
+        if not delay:
+            return
+        timeout = request.timeout_s
+        if timeout is not None and delay > timeout:
+            self._sleep(timeout)
+            raise TimeoutFault(
+                f"timed out after {timeout:g}s fetching {request.url} "
+                f"(server took {delay:g}s)"
+            )
+        self._sleep(delay)
+
+    @staticmethod
+    def _fault_headers(fault: FaultRule) -> Headers:
+        headers = Headers({"Content-Type": "text/html"})
+        if fault.retry_after is not None:
+            headers.set("Retry-After", f"{fault.retry_after:g}")
+        return headers
 
 
 def _error_body(status: int) -> str:

@@ -576,8 +576,21 @@ class TestRobotAndClientMetrics:
         )
         with use_registry() as registry:
             robot.crawl("http://localhost/missing.html")
-            assert registry.value("robot.fetch.failures") == 1
+            # A 404 is an HTTP error, not a transport failure.
+            assert registry.value("robot.fetch.http_errors") == 1
+            assert registry.value("robot.fetch.failures") == 0
             assert registry.value("robot.pages.fetched") == 0
+
+    def test_transport_failure_counts_failure(self):
+        web = VirtualWeb()
+        web.kill_host("localhost")
+        robot = Robot(
+            UserAgent(web), policy=TraversalPolicy(obey_robots_txt=False)
+        )
+        with use_registry() as registry:
+            robot.crawl("http://localhost/missing.html")
+            assert registry.value("robot.fetch.failures") == 1
+            assert registry.value("robot.fetch.http_errors") == 0
 
 
 # -- the pathological workload profile ----------------------------------------

@@ -91,8 +91,22 @@ class TestTraversal:
         web.remove("http://h/two.html")
         robot = Robot(agent)
         robot.crawl("http://h/index.html")
-        # two.html (removed) and missing.html (never existed) both fail.
-        assert robot.stats.pages_failed == 2
+        # two.html (removed) and missing.html (never existed) both 404:
+        # persistent HTTP errors, not transport failures.
+        assert robot.stats.pages_http_error == 2
+        assert robot.stats.pages_failed == 0
+        assert robot.stats.http_error_urls == {
+            "http://h/two.html": 404,
+            "http://h/missing.html": 404,
+        }
+
+    def test_transport_failures_classified_separately(self, web, agent):
+        web.kill_host("h")
+        robot = Robot(agent)
+        robot.crawl("http://h/index.html")
+        assert robot.stats.pages_failed == 1
+        assert robot.stats.pages_http_error == 0
+        assert "http://h/index.html" in robot.stats.failed_urls
 
     def test_non_html_not_parsed(self, web, agent):
         web.add_page("http://h/data.txt", "just text", content_type="text/plain")

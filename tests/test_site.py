@@ -159,6 +159,39 @@ class TestSiteChecker:
         ]
         assert bad and "nonexistent.html" in bad[0].text
 
+    def test_external_links_skipped_without_agent(self, tmp_path):
+        (tmp_path / "index.html").write_text(make_document(
+            '<p><a href="http://h/dead.html">external</a></p>'
+        ))
+        report = SiteChecker().check_directory(tmp_path)
+        assert report.count("bad-link") == 0
+
+    def test_external_links_validated_with_agent(self, tmp_path):
+        from repro.www.client import RetryPolicy, UserAgent
+        from repro.www.virtualweb import VirtualWeb
+
+        (tmp_path / "index.html").write_text(make_document(
+            '<p><a href="http://h/ok.html">good</a> '
+            '<a href="http://h/dead.html">bad</a></p>'
+        ))
+        web = VirtualWeb()
+        web.add_page("http://h/ok.html", "fine")
+        # Transient outage on the good link: the retrying agent sees
+        # through it, so only the genuinely dead link is reported.
+        web.add_fault("http://h/ok.html", status=503, times=1)
+        agent = UserAgent(
+            web,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+            sleep=lambda _s: None,
+        )
+        report = SiteChecker(agent=agent).check_directory(tmp_path)
+        bad = [
+            d for d in report.page_diagnostics.get("index.html", [])
+            if d.message_id == "bad-link"
+        ]
+        assert len(bad) == 1
+        assert "dead.html" in bad[0].text
+
     def test_good_links_not_reported(self, site_dir):
         report = SiteChecker().check_directory(site_dir)
         bad = [

@@ -101,6 +101,30 @@ class TestVirtualWeb:
         web.add_site("http://s/", tmp_path)
         assert web.handle(Request("GET", "http://s/d/p.html")).body == "deep"
 
+    def test_head_on_unknown_url_has_no_body(self, web):
+        response = web.handle(Request("HEAD", "http://h/missing.html"))
+        assert response.status == 404
+        assert response.body == ""
+        # Content-Length still advertises the GET error body.
+        get_body = web.handle(Request("GET", "http://h/missing.html")).body
+        assert response.headers.get("Content-Length") == str(
+            len(get_body.encode("utf-8"))
+        )
+
+    def test_content_length_is_utf8_byte_count(self, web):
+        web.add_page("http://h/u.html", "héllo — ünïcode")
+        response = web.handle(Request("GET", "http://h/u.html"))
+        declared = int(response.headers.get("Content-Length"))
+        assert declared == len(response.body.encode("utf-8"))
+        assert declared > len(response.body)  # multi-byte characters
+
+    def test_error_body_content_length_matches(self, web):
+        web.add_broken("http://h/gone", status=410)
+        response = web.handle(Request("GET", "http://h/gone"))
+        assert int(response.headers.get("Content-Length")) == len(
+            response.body.encode("utf-8")
+        )
+
     def test_remove(self, web):
         web.remove("http://h/a.html")
         assert web.handle(Request("GET", "http://h/a.html")).status == 404
@@ -133,6 +157,32 @@ class TestUserAgent:
         with pytest.raises(FetchError, match="redirect"):
             UserAgent(web, max_redirects=3).get("http://h/r0")
 
+    def test_redirect_chain_of_exactly_max_redirects_succeeds(self, web):
+        # 3 redirect hops + the final page = 4 requests at max_redirects=3.
+        web.add_redirect("http://h/c0", "/c1")
+        web.add_redirect("http://h/c1", "/c2")
+        web.add_redirect("http://h/c2", "/a.html")
+        response = UserAgent(web, max_redirects=3).get("http://h/c0")
+        assert response.ok and response.url == "http://h/a.html"
+        assert len(response.redirects) == 3
+        # One hop more is one too many.
+        web.add_redirect("http://h/d0", "/c0")
+        with pytest.raises(FetchError, match="too many redirects"):
+            UserAgent(web, max_redirects=3).get("http://h/d0")
+
+    def test_redirect_loop_through_fragment_stripped_url(self, web):
+        # The intermediate hop differs only by fragment; normalisation
+        # must still detect the loop instead of bouncing forever.
+        web.add_redirect("http://h/x", "/y#section")
+        web.add_redirect("http://h/y", "/x")
+        with pytest.raises(FetchError, match="loop"):
+            UserAgent(web).get("http://h/x")
+
+    def test_redirect_loop_through_normalised_url(self, web):
+        web.add_redirect("http://h/x", "http://h:80/./x")
+        with pytest.raises(FetchError, match="loop"):
+            UserAgent(web).get("http://h/x")
+
     def test_relative_location_resolved(self, web):
         web.add_redirect("http://h/dir/old", "new.html")
         web.add_page("http://h/dir/new.html", "moved")
@@ -146,6 +196,14 @@ class TestUserAgent:
         agent = UserAgent(web)
         assert agent.exists("http://h/a.html")
         assert not agent.exists("http://h/nope.html")
+
+    def test_exists_false_when_head_redirects_to_404(self, web):
+        web.add_redirect("http://h/moved", "/vanished.html")
+        assert not UserAgent(web).exists("http://h/moved")
+
+    def test_exists_true_through_redirect(self, web):
+        web.add_redirect("http://h/moved-ok", "/a.html")
+        assert UserAgent(web).exists("http://h/moved-ok")
 
     def test_cache(self, web):
         agent = UserAgent(web, cache=True)
