@@ -82,6 +82,21 @@ def record_crawl_result(name: str, **values: object) -> None:
     _CRAWL_RESULTS[name] = dict(values)
 
 
+#: Results the incremental-recheck benchmark (E17) records for
+#: BENCH_cache.json.
+_CACHE_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_cache_result(name: str, **values: object) -> None:
+    """Record one cold-vs-warm site re-check measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_cache.json``
+    carries only the incremental-recheck numbers (cold vs warm wall
+    clock, bytes transferred, revalidations, lint cache hits).
+    """
+    _CACHE_RESULTS[name] = dict(values)
+
+
 def record_dispatch_result(name: str, **values: object) -> None:
     """Record one compiled-vs-naive dispatch measurement.
 
@@ -145,6 +160,17 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         try:
             (root / "BENCH_crawl.json").write_text(
                 json.dumps(crawl_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+    if _CACHE_RESULTS:
+        cache_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _CACHE_RESULTS,
+        }
+        try:
+            (root / "BENCH_cache.json").write_text(
+                json.dumps(cache_payload, indent=2, sort_keys=True) + "\n"
             )
         except OSError:  # pragma: no cover - read-only checkout
             pass

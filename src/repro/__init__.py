@@ -27,6 +27,7 @@ Sub-packages:
 """
 
 from repro.config.options import Options
+from repro.core.cache import ResultCache
 from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint, WeblintError
 from repro.core.messages import CATALOG, Category, Message
@@ -66,6 +67,7 @@ __all__ = [
     "StdinSource",
     "URLSource",
     "SourceError",
+    "ResultCache",
     "Options",
     "Diagnostic",
     "Category",

@@ -136,6 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
         "default from WEBLINT_JOBS, else 1)",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=os.environ.get("WEBLINT_CACHE_DIR") or None,
+        help="persist lint results under DIR and reuse them when neither "
+        "the document nor the configuration changed "
+        "(default from WEBLINT_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the result cache (and WEBLINT_CACHE_DIR) for this run",
+    )
+    parser.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="empty the result cache before checking; with no FILE "
+        "arguments, clear it and exit",
+    )
+    parser.add_argument(
         "--rcfile",
         metavar="FILE",
         help="alternate user configuration file (default ~/.weblintrc)",
@@ -301,9 +320,26 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         _list_rules(registry, out)
         return constants.EXIT_CLEAN
 
+    cache = None
+    if not args.no_cache and (args.cache_dir or args.cache_clear):
+        if args.cache_dir is None:
+            err.write(
+                "weblint: --cache-clear needs --cache-dir "
+                "(or WEBLINT_CACHE_DIR)\n"
+            )
+            return constants.EXIT_USAGE
+        from repro.core.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        if args.cache_clear:
+            removed = cache.clear()
+            err.write(f"weblint: cache cleared ({removed} entries)\n")
+            if not args.paths:
+                return constants.EXIT_CLEAN
+
     try:
         reporter = _pick_reporter(args)
-        service = LintService(options=options, registry=registry)
+        service = LintService(options=options, registry=registry, cache=cache)
     except KeyError as exc:
         err.write(f"weblint: {exc}\n")
         return constants.EXIT_USAGE

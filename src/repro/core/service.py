@@ -16,7 +16,14 @@ once:
   instead of an exception, so one bad document never aborts a batch.
 - :class:`LintService` -- owns options + spec + registry + compiled
   dispatch tables once, and exposes ``check(request)`` plus
-  ``check_many(requests, jobs=N)``.
+  ``check_many(requests, jobs=N)``.  Give it a
+  :class:`repro.core.cache.ResultCache` (``cache=``) and results are
+  reused across documents, runs and processes: a document whose bytes
+  and service configuration both match a cached entry skips the engine
+  entirely (``cache.lint.hits``), which is what makes a warm site
+  re-check near-free.  Runs that exist to observe the engine
+  (``--trace``, ``--profile``) bypass the cache so their artefacts
+  stay truthful.
 - :class:`ParallelExecutor` -- the ``jobs > 1`` path: chunked submission
   over a ``ProcessPoolExecutor`` whose per-worker initializer builds the
   service (and compiles dispatch tables) once per worker.  Results come
@@ -238,6 +245,7 @@ class LintService:
         registry: Optional[RuleRegistry] = None,
         cascade_heuristics: bool = True,
         naive_dispatch: bool = False,
+        cache=None,
     ) -> None:
         self.options = options if options is not None else Options.with_defaults()
         if isinstance(spec, str):
@@ -252,6 +260,12 @@ class LintService:
             rules = registry.rules()
         self.registry = registry
         self.rules = list(rules)
+        #: Optional :class:`repro.core.cache.ResultCache`.  Only a
+        #: registry-described rule set can be cached: a raw ``rules=``
+        #: list has no stable identity to key on, so the cache is
+        #: silently ignored for it (same contract as worker fan-out).
+        self.cache = cache if not self._explicit_rules else None
+        self._fingerprint: Optional[bytes] = None
         self.engine = Engine(
             spec=self.spec,
             options=self.options,
@@ -315,6 +329,51 @@ class LintService:
         """Compile (and cache) the dispatch tables now, not on first use."""
         self.engine.dispatch_table()
 
+    # -- result caching ----------------------------------------------------
+
+    def cache_fingerprint(self) -> bytes:
+        """Digest of every configuration axis that can change lint output.
+
+        Combined with the document bytes this forms the
+        :class:`~repro.core.cache.ResultCache` key; see docs/caching.md
+        for the invalidation rules it implies.
+        """
+        if self._fingerprint is None:
+            from repro.core.cache import service_fingerprint
+
+            rule_state: tuple[tuple[str, bool], ...]
+            if self.registry is not None:
+                rule_state = tuple(
+                    (registration.name, registration.enabled)
+                    for registration in self.registry.registrations()
+                )
+            else:  # explicit rules: names only (cache is disabled anyway)
+                rule_state = tuple((rule.name, True) for rule in self.rules)
+            self._fingerprint = service_fingerprint(
+                self.options.fingerprint(),
+                self.spec.name,
+                rule_state,
+                self.cascade_heuristics,
+                self.naive_dispatch,
+            )
+        return self._fingerprint
+
+    def _cache_key(self, text: str) -> Optional[str]:
+        """The cache key for ``text`` -- or ``None`` when caching is off.
+
+        Observability runs that exist to watch the engine work
+        (an enabled tracer or an installed profiler) bypass the cache:
+        a span tree or rule profile served from cache would be a lie.
+        """
+        if self.cache is None:
+            return None
+        if get_profiler() is not None or getattr(get_tracer(), "enabled", False):
+            get_registry().inc("cache.lint.bypassed")
+            return None
+        from repro.core.cache import result_key
+
+        return result_key(text, self.cache_fingerprint())
+
     # -- checking ----------------------------------------------------------
 
     def check(self, request: Union[LintRequest, DocumentSource]) -> LintResult:
@@ -327,15 +386,29 @@ class LintService:
         except SourceError as exc:
             get_registry().inc("lint.source_errors")
             return LintResult(name=source.name, error=str(exc))
+        registry = get_registry()
+        key = self._cache_key(text)
+        if key is not None:
+            cached = self.cache.get(key, filename=source.name)
+            if cached is not None:
+                registry.inc("lint.files")
+                for diagnostic in cached:
+                    registry.inc(f"lint.diagnostics.{diagnostic.category.value}")
+                return LintResult(
+                    name=source.name,
+                    diagnostics=cached,
+                    text=text if request.keep_text else None,
+                )
         start = time.perf_counter()
         with get_tracer().span("lint.file", file=source.name):
             context = self.engine.check(text, source.name)
         diagnostics = context.sorted_diagnostics()
-        registry = get_registry()
         registry.inc("lint.files")
         registry.observe("lint.check_ms", (time.perf_counter() - start) * 1000.0)
         for diagnostic in diagnostics:
             registry.inc(f"lint.diagnostics.{diagnostic.category.value}")
+        if key is not None:
+            self.cache.put(key, diagnostics)
         return LintResult(
             name=source.name,
             diagnostics=diagnostics,
@@ -362,8 +435,67 @@ class LintService:
         jobs = resolve_jobs(jobs)
         if jobs <= 1 or len(batch) < 2 or not self.portable:
             return [self.check(request) for request in batch]
+        if self.cache is not None:
+            return self._check_many_cached(batch, jobs)
         executor = ParallelExecutor(self.specification(), jobs=jobs)
         return executor.run(batch, fallback=self.check)
+
+    def _check_many_cached(self, batch: list[LintRequest], jobs: int) -> list[LintResult]:
+        """The parallel path when a result cache is attached.
+
+        Worker processes cannot share the parent's cache tiers, so hits
+        are resolved *here*, before fan-out: read each document, hash
+        it, serve matching cached results directly.  Only the misses
+        ship to the pool (as already-read strings -- one read total, as
+        ever), and their fresh results are stored on the way back.
+        """
+        registry = get_registry()
+        results: list[Optional[LintResult]] = [None] * len(batch)
+        misses: list[tuple[int, LintRequest, Optional[str]]] = []
+        for index, request in enumerate(batch):
+            source = request.source
+            try:
+                text = source.text()
+            except SourceError as exc:
+                registry.inc("lint.source_errors")
+                results[index] = LintResult(name=source.name, error=str(exc))
+                continue
+            key = self._cache_key(text)
+            if key is not None:
+                cached = self.cache.get(key, filename=source.name)
+                if cached is not None:
+                    registry.inc("lint.files")
+                    for diagnostic in cached:
+                        registry.inc(
+                            f"lint.diagnostics.{diagnostic.category.value}"
+                        )
+                    results[index] = LintResult(
+                        name=source.name,
+                        diagnostics=cached,
+                        text=text if request.keep_text else None,
+                    )
+                    continue
+            misses.append((
+                index,
+                LintRequest(
+                    StringSource(text, name=source.name),
+                    keep_text=request.keep_text,
+                ),
+                key,
+            ))
+        if misses:
+            if len(misses) == 1:
+                checked = [self.check(request) for _, request, _ in misses]
+            else:
+                executor = ParallelExecutor(self.specification(), jobs=jobs)
+                checked = executor.run(
+                    [request for _, request, _ in misses], fallback=self.check
+                )
+            for (index, _, key), result in zip(misses, checked):
+                results[index] = result
+                if key is not None and result is not None and result.ok:
+                    self.cache.put(key, result.diagnostics)
+        return results  # type: ignore[return-value]
 
 
 # -- the process-pool executor ----------------------------------------------

@@ -11,20 +11,29 @@ The resilience layer is fully scriptable: ``--retries``/``--backoff``/
 ``--host-delay`` the concurrent crawl frontier, and ``--fault-rate``/
 ``--fault-seed`` inject deterministic transient 503s into the mounted
 site so the whole stack can be exercised without a hostile network.
+
+``--state-dir DIR`` makes the crawl *incremental*: HTTP validators and
+lint results persist under DIR, so a second run revalidates unchanged
+pages with conditional fetches (``304 Not Modified``) and serves their
+lint results from the cache -- only changed pages pay for transfer and
+linting.  See docs/caching.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.config.options import Options
+from repro.core.cache import ResultCache
 from repro.core.service import LintService
 from repro.obs import use_registry
 from repro.robot.poacher import Poacher
 from repro.robot.traversal import TraversalPolicy
 from repro.www.client import CircuitBreaker, RetryPolicy, UserAgent
+from repro.www.httpcache import HttpCache
 from repro.www.virtualweb import VirtualWeb
 
 
@@ -120,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for --fault-rate fault placement",
     )
     parser.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="persist crawl state (HTTP validators, lint results) under "
+        "DIR so a re-crawl revalidates unchanged pages instead of "
+        "re-fetching and re-linting them",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print crawl metrics (fetches, retries, per-URL latency) "
@@ -136,6 +153,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.fault_rate > 0.0:
         web.faults.seed = args.fault_seed
         web.add_fault(rate=args.fault_rate, status=503, times=None)
+    http_cache = None
+    result_cache = None
+    if args.state_dir:
+        state = Path(args.state_dir)
+        http_cache = HttpCache(state / "http")
+        http_cache.load()
+        result_cache = ResultCache(state / "lint")
     agent = UserAgent(
         web,
         retry=RetryPolicy(max_retries=max(0, args.retries),
@@ -145,6 +169,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.breaker_after > 0 else None
         ),
         timeout_s=args.timeout,
+        http_cache=http_cache,
     )
 
     options = Options.with_defaults()
@@ -156,10 +181,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         per_host_delay_s=max(0.0, args.host_delay),
     )
     poacher = Poacher(
-        agent, service=LintService(options=options), policy=policy
+        agent,
+        service=LintService(options=options, cache=result_cache),
+        policy=policy,
     )
     with use_registry() as registry:
         report = poacher.crawl(args.start)
+        if http_cache is not None:
+            http_cache.save()
 
         for line in report.summary_lines():
             sys.stdout.write(line + "\n")
@@ -179,6 +208,8 @@ def _print_stats(registry, crawl_stats, stream) -> None:
             "robot.fetch.retries",
             "robot.fetch.http_errors",
             "www.retry.attempts",
+            "www.conditional.revalidated",
+            "cache.lint.hits",
         )
     ):
         stream.write(f"  {line}\n")

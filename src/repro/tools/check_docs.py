@@ -1,0 +1,92 @@
+"""Validate intra-repo documentation links -- the docs' lint pass.
+
+``python -m repro.tools.check_docs`` scans every tracked markdown file
+(the repo root's ``*.md`` plus ``docs/``) for markdown links and checks
+that each *relative* target resolves to a real file, so a renamed or
+deleted document breaks CI instead of readers.  External schemes
+(``http:``, ``https:``, ``mailto:``) are out of scope -- this container
+has no network, and the repo's own structure is what the docs pass must
+keep honest.
+
+Weblint lints the web's documents; this keeps weblint's own documents
+lintable by the same standard.  Exit status: 0 when every link
+resolves, 1 otherwise (one ``file:line: target`` report per break).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable
+
+#: Inline markdown links: ``[text](target)``.  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository (not checked).
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """The markdown set the repo's docs pass owns (sorted, stable)."""
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [path for path in files if path.is_file()]
+
+
+def iter_links(text: str) -> Iterable[tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every markdown link."""
+    for number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """The broken-link reports for one markdown file."""
+    problems: list[str] = []
+    for line, target in iter_links(path.read_text(encoding="utf-8")):
+        if _EXTERNAL.match(target):
+            continue
+        # Strip any fragment; heading anchors are not validated (they
+        # are renderer-specific), only the file half of the target is.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue  # same-document anchor
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            problems.append(
+                f"{path.relative_to(root)}:{line}: link escapes the "
+                f"repository: {target}"
+            )
+            continue
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}:{line}: broken link: {target}"
+            )
+    return problems
+
+
+def check_tree(root: Path) -> list[str]:
+    problems: list[str] = []
+    for path in markdown_files(root):
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # src/repro/tools/check_docs.py -> repo root is parents[3]
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parents[3]
+    problems = check_tree(root)
+    for problem in problems:
+        sys.stderr.write(problem + "\n")
+    checked = len(markdown_files(root))
+    sys.stdout.write(
+        f"check_docs: {checked} file(s), {len(problems)} broken link(s)\n"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,12 @@ reproduction substitutes a complete in-process equivalent:
   a per-request timeout, and a per-host
   :class:`~repro.www.client.CircuitBreaker` that fails fast instead of
   hammering a dead host;
+- :mod:`repro.www.httpcache` -- the client-side validator store behind
+  conditional fetches: give a ``UserAgent`` an ``http_cache`` and it
+  replays ``ETag`` / ``Last-Modified`` as ``If-None-Match`` /
+  ``If-Modified-Since``, turning unchanged pages into bodyless ``304``
+  responses served from the cache (``poacher --state-dir`` persists it
+  between crawls);
 - :mod:`repro.www.robotstxt` -- robots.txt parsing for polite robots.
 
 Failure reporting draws one line precisely: an outcome with an HTTP
@@ -56,6 +62,7 @@ from repro.www.faults import (
     TimeoutFault,
     TransportError,
 )
+from repro.www.httpcache import CachedEntry, HttpCache
 from repro.www.message import Request, Response
 from repro.www.robotstxt import RobotsTxt
 from repro.www.url import URL, urljoin, urlparse
@@ -79,5 +86,7 @@ __all__ = [
     "TimeoutFault",
     "FaultInjector",
     "FaultRule",
+    "HttpCache",
+    "CachedEntry",
     "RobotsTxt",
 ]

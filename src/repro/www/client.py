@@ -25,7 +25,18 @@ front-ends need against an unreliable web:
 - Per-request timeout (``timeout_s``), enforced by the virtual web's
   latency simulation.
 
-Both knobs are off by default: a bare ``UserAgent(web)`` behaves exactly
+On top of both sits the incremental-recrawl layer: pass an
+``http_cache`` (:class:`repro.www.httpcache.HttpCache`) and every GET
+becomes *conditional* -- the stored ``ETag`` / ``Last-Modified``
+validators are replayed as ``If-None-Match`` / ``If-Modified-Since``,
+a ``304 Not Modified`` is turned back into the stored response without
+transferring the body (``www.conditional.revalidated``), a changed page
+comes back as a normal 200 and refreshes the store
+(``www.conditional.modified``), and a 304 whose stored body has been
+evicted falls back to one full unconditional GET
+(``www.conditional.lost_body``).  See docs/caching.md.
+
+All knobs are off by default: a bare ``UserAgent(web)`` behaves exactly
 like the paper's simple LWP user agent.
 """
 
@@ -39,7 +50,7 @@ from typing import Callable, Optional
 
 from repro.obs.metrics import get_registry
 from repro.www.faults import TransportError
-from repro.www.message import Request, Response
+from repro.www.message import Headers, Request, Response
 from repro.www.url import urljoin, urlparse
 
 
@@ -204,6 +215,7 @@ class UserAgent:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         timeout_s: Optional[float] = None,
+        http_cache=None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.web = web
@@ -212,6 +224,9 @@ class UserAgent:
         self.retry = retry if retry is not None else NO_RETRY
         self.breaker = breaker
         self.timeout_s = timeout_s
+        #: Optional :class:`repro.www.httpcache.HttpCache`; when set,
+        #: GETs are conditional and 304s revalidate the stored copy.
+        self.http_cache = http_cache
         self._sleep = sleep
         self._cache: Optional[dict[tuple[str, str], Response]] = {} if cache else None
         self.requests_made = 0
@@ -244,11 +259,12 @@ class UserAgent:
         seen: list[str] = []
         current = url
         response = None
+        wire_bytes = 0
         for _hop in range(self.max_redirects + 1):
             if current in seen:
                 raise FetchError(f"redirect loop: {' -> '.join(seen + [current])}")
             seen.append(current)
-            response = self._issue(method, current)
+            response, wire_bytes = self._issue_hop(method, current)
             if not response.is_redirect or response.location is None:
                 break
             current = str(urljoin(current, response.location).without_fragment())
@@ -268,7 +284,8 @@ class UserAgent:
         registry.inc("www.requests")
         if len(seen) > 1:
             registry.inc("www.redirects", len(seen) - 1)
-        registry.inc("www.bytes_fetched", len(final.body))
+        # Revalidated 304s transferred no body: only wire bytes count.
+        registry.inc("www.bytes_fetched", wire_bytes)
         registry.observe(
             "www.fetch.latency_ms", (time.perf_counter() - start) * 1000.0
         )
@@ -278,9 +295,60 @@ class UserAgent:
             self._cache[cache_key] = final
         return final
 
+    # -- the conditional single-hop fetch ---------------------------------------
+
+    def _issue_hop(self, method: str, url: str) -> tuple[Response, int]:
+        """One redirect hop, conditionally when a validator is stored.
+
+        Returns ``(response, wire_bytes)`` where ``wire_bytes`` is the
+        body length actually transferred -- zero for a revalidated 304,
+        whose body is resurrected from the :class:`HttpCache`.
+        """
+        registry = get_registry()
+        entry = None
+        if self.http_cache is not None and method == "GET":
+            entry = self.http_cache.entry_for(url)
+            if entry is not None and not entry.has_validators:
+                entry = None
+        response = self._issue(method, url, entry)
+        if entry is not None:
+            registry.inc("www.conditional.requests")
+        if response.status == 304 and entry is not None:
+            body = self.http_cache.body_for(entry)
+            if body is None:
+                # The index outlived the stored body: the validator
+                # matched but there is nothing to serve.  Pay for one
+                # full unconditional GET instead.
+                registry.inc("www.conditional.lost_body")
+                response = self._issue(method, url, None)
+                if self.http_cache is not None and response.ok:
+                    self.http_cache.store(url, response)
+                return response, len(response.body)
+            registry.inc("www.conditional.revalidated")
+            headers = Headers(
+                {
+                    "Content-Type": entry.content_type,
+                    "Content-Length": str(
+                        len(body.encode("utf-8", errors="surrogatepass"))
+                    ),
+                }
+            )
+            if entry.etag is not None:
+                headers.set("ETag", entry.etag)
+            if entry.last_modified is not None:
+                headers.set("Last-Modified", entry.last_modified)
+            return Response(
+                status=entry.status, url=url, body=body, headers=headers
+            ), 0
+        if self.http_cache is not None and method == "GET" and response.ok:
+            if entry is not None:
+                registry.inc("www.conditional.modified")
+            self.http_cache.store(url, response)
+        return response, len(response.body)
+
     # -- the resilient single-hop fetch ----------------------------------------
 
-    def _issue(self, method: str, url: str) -> Response:
+    def _issue(self, method: str, url: str, validators=None) -> Response:
         """One redirect hop: attempt + retries + breaker accounting.
 
         Returns the final response -- which may be a non-OK HTTP error
@@ -304,7 +372,7 @@ class UserAgent:
                 if outcome.retry_after is not None:
                     registry.inc("www.retry.retry_after_honored")
                 self._sleep(delay)
-            outcome = self._attempt(method, url)
+            outcome = self._attempt(method, url, validators)
             if outcome.error is None and outcome.response is not None:
                 response = outcome.response
                 retryable = policy.retryable_status(response.status)
@@ -328,10 +396,15 @@ class UserAgent:
             f"could not fetch {url}: {outcome.error}"
         ) from outcome.error
 
-    def _attempt(self, method: str, url: str) -> _Outcome:
+    def _attempt(self, method: str, url: str, validators=None) -> _Outcome:
         """One wire attempt; truncated bodies count as transport errors."""
         request = Request(method=method, url=url, timeout_s=self.timeout_s)
         request.headers.set("User-Agent", self.agent_name)
+        if validators is not None:
+            if validators.etag is not None:
+                request.headers.set("If-None-Match", validators.etag)
+            if validators.last_modified is not None:
+                request.headers.set("If-Modified-Since", validators.last_modified)
         self.requests_made += 1
         try:
             response = self.web.handle(request)

@@ -127,6 +127,10 @@ class FaultInjector:
         self.seed = seed
         self._rules: list[FaultRule] = []
         self._latency: list[tuple[Optional[str], Optional[str], float]] = []
+        #: Simulated bandwidth in bytes/second (None = infinite): every
+        #: response also costs ``body bytes / bandwidth`` seconds, which
+        #: is the cost a conditional fetch avoids when a 304 arrives.
+        self.bandwidth_bytes_per_s: Optional[float] = None
         self._lock = threading.Lock()
         #: How many requests each rule actually faulted (inspectability).
         self.faults_injected = 0
@@ -171,10 +175,17 @@ class FaultInjector:
         """Every matching response takes ``seconds`` to arrive."""
         self._latency.append((url, host, max(0.0, seconds)))
 
+    def set_bandwidth(self, bytes_per_s: Optional[float]) -> None:
+        """Make responses cost body-proportional transfer time (None = off)."""
+        self.bandwidth_bytes_per_s = (
+            None if not bytes_per_s or bytes_per_s <= 0 else float(bytes_per_s)
+        )
+
     def clear(self) -> None:
         with self._lock:
             self._rules.clear()
             self._latency.clear()
+            self.bandwidth_bytes_per_s = None
 
     # -- per-request decisions ---------------------------------------------
 
@@ -187,6 +198,12 @@ class FaultInjector:
             elif rule_host is None or host == rule_host:
                 delay = max(delay, seconds)
         return delay
+
+    def transfer_seconds(self, body_bytes: int) -> float:
+        """Simulated transfer time for a response body of ``body_bytes``."""
+        if self.bandwidth_bytes_per_s is None or body_bytes <= 0:
+            return 0.0
+        return body_bytes / self.bandwidth_bytes_per_s
 
     def fault_for(self, url: str, host: str) -> Optional[FaultRule]:
         """The first rule faulting this request, consuming its budget."""

@@ -54,6 +54,17 @@ class _Resource:
     content_type: str = "text/html"
     location: Optional[str] = None
     extra_headers: dict[str, str] = field(default_factory=dict)
+    #: Strong validator derived from the body; changes when the body does.
+    etag: Optional[str] = None
+    #: Optional HTTP-date validator, compared verbatim (no date parsing).
+    last_modified: Optional[str] = None
+
+
+def _etag_for(body: str) -> str:
+    import hashlib
+
+    digest = hashlib.sha256(body.encode("utf-8", errors="surrogatepass"))
+    return f'"{digest.hexdigest()[:16]}"'
 
 
 def _key(url: Union[str, URL]) -> tuple[str, Optional[int], str]:
@@ -86,6 +97,10 @@ class VirtualWeb:
     def set_latency(self, url: Optional[str] = None, **kwargs) -> None:
         self.faults.set_latency(url, **kwargs)
 
+    def set_bandwidth(self, bytes_per_s: Optional[float]) -> None:
+        """Simulate transfer time proportional to body size (None = off)."""
+        self.faults.set_bandwidth(bytes_per_s)
+
     # -- population ---------------------------------------------------------
 
     def add_page(
@@ -94,10 +109,23 @@ class VirtualWeb:
         body: str,
         content_type: str = "text/html",
         status: int = 200,
+        last_modified: Optional[str] = None,
     ) -> None:
-        """Serve ``body`` at ``url``."""
+        """Serve ``body`` at ``url``.
+
+        Successful pages always carry an ``ETag`` derived from the body
+        (so replacing a page with different content changes the
+        validator, and re-adding identical content does not) and honour
+        ``If-None-Match`` with a ``304 Not Modified``.  Pass
+        ``last_modified`` to also serve a ``Last-Modified`` header and
+        honour ``If-Modified-Since`` (compared verbatim).
+        """
         self._resources[_key(url)] = _Resource(
-            body=body, status=status, content_type=content_type
+            body=body,
+            status=status,
+            content_type=content_type,
+            etag=_etag_for(body) if status == 200 else None,
+            last_modified=last_modified,
         )
 
     def add_redirect(self, url: str, target: str, permanent: bool = False) -> None:
@@ -208,6 +236,12 @@ class VirtualWeb:
             headers.set(key, value)
         if resource.location is not None:
             headers.set("Location", resource.location)
+        if resource.etag is not None:
+            headers.set("ETag", resource.etag)
+        if resource.last_modified is not None:
+            headers.set("Last-Modified", resource.last_modified)
+        if self._not_modified(request, resource):
+            return self._respond(request, status=304, body="", headers=headers)
         body = resource.body
         if resource.status >= 400 and not body:
             body = _error_body(resource.status)
@@ -224,6 +258,26 @@ class VirtualWeb:
             truncate_to=truncate_to,
         )
 
+    @staticmethod
+    def _not_modified(request: Request, resource: _Resource) -> bool:
+        """Does a stored validator match the request's conditional headers?
+
+        ``If-None-Match`` wins over ``If-Modified-Since`` when both are
+        present, per HTTP.  Only successful, non-redirect resources are
+        eligible -- errors and redirects never validate.
+        """
+        if resource.status != 200 or resource.location is not None:
+            return False
+        if_none_match = request.headers.get("If-None-Match")
+        if if_none_match is not None:
+            return resource.etag is not None and (
+                if_none_match == "*" or if_none_match == resource.etag
+            )
+        if_modified_since = request.headers.get("If-Modified-Since")
+        if if_modified_since is not None and resource.last_modified is not None:
+            return if_modified_since == resource.last_modified
+        return False
+
     def _respond(
         self,
         request: Request,
@@ -238,16 +292,38 @@ class VirtualWeb:
         ``Content-Length`` always advertises the UTF-8 byte length of
         the *full* GET body -- also for HEAD requests (which carry no
         body, per HTTP) and for truncated responses (that mismatch is
-        how the client detects the truncation).
+        how the client detects the truncation).  A 304 carries no body
+        by definition, so it advertises zero.
         """
         headers.set("Content-Length", str(len(body.encode("utf-8"))))
-        if request.method == "HEAD":
+        if request.method == "HEAD" or status == 304:
             body = ""
         elif truncate_to is not None:
             body = body[:truncate_to]
+        self._simulate_transfer(request, body)
         return Response(
             status=status, url=request.url, body=body, headers=headers
         )
+
+    def _simulate_transfer(self, request: Request, body: str) -> None:
+        """Body-proportional latency: the bandwidth half of the model.
+
+        ``set_bandwidth(bytes_per_s)`` makes every response cost
+        ``len(body) / bytes_per_s`` seconds on top of any fixed latency
+        -- which is exactly the cost a conditional fetch avoids when the
+        server answers 304 (empty body, ~zero transfer).
+        """
+        delay = self.faults.transfer_seconds(len(body.encode("utf-8")))
+        if not delay:
+            return
+        timeout = request.timeout_s
+        if timeout is not None and delay > timeout:
+            self._sleep(timeout)
+            raise TimeoutFault(
+                f"transfer timed out after {timeout:g}s fetching "
+                f"{request.url} (body needed {delay:g}s)"
+            )
+        self._sleep(delay)
 
     def _simulate_latency(self, request: Request, url: str, host: str) -> None:
         delay = self.faults.latency_for(url, host)

@@ -1,11 +1,14 @@
-"""Tests for maintainer tools (documentation generation)."""
+"""Tests for maintainer tools (doc generation, doc link checking)."""
 
 from __future__ import annotations
 
 from pathlib import Path
 
 from repro.core.messages import CATALOG
+from repro.tools.check_docs import check_file, check_tree, iter_links
 from repro.tools.gen_docs import generate
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def test_generated_docs_cover_every_message():
@@ -22,8 +25,43 @@ def test_generated_docs_state_paper_statistics():
 
 def test_committed_docs_up_to_date():
     """docs/MESSAGES.md must be regenerated when the catalog changes."""
-    committed = Path(__file__).resolve().parents[1] / "docs" / "MESSAGES.md"
+    committed = REPO_ROOT / "docs" / "MESSAGES.md"
     assert committed.is_file(), "run: python -m repro.tools.gen_docs"
     assert committed.read_text() == generate(), (
         "docs/MESSAGES.md is stale; run: python -m repro.tools.gen_docs"
     )
+
+
+class TestCheckDocs:
+    def test_repo_docs_have_no_broken_links(self):
+        assert check_tree(REPO_ROOT) == []
+
+    def test_broken_link_is_reported_with_line(self, tmp_path):
+        page = tmp_path / "doc.md"
+        page.write_text("fine\n\nsee [missing](nope.md) for more\n")
+        [problem] = check_file(page, tmp_path)
+        assert problem == "doc.md:3: broken link: nope.md"
+
+    def test_external_and_anchor_links_are_ignored(self, tmp_path):
+        page = tmp_path / "doc.md"
+        page.write_text(
+            "[web](https://example.com/x) [mail](mailto:a@b) "
+            "[anchor](#section)\n"
+        )
+        assert check_file(page, tmp_path) == []
+
+    def test_fragment_of_real_file_resolves(self, tmp_path):
+        (tmp_path / "other.md").write_text("# target\n")
+        page = tmp_path / "doc.md"
+        page.write_text("[ok](other.md#target)\n")
+        assert check_file(page, tmp_path) == []
+
+    def test_escaping_link_is_flagged(self, tmp_path):
+        page = tmp_path / "doc.md"
+        page.write_text("[up](../../etc/passwd)\n")
+        [problem] = check_file(page, tmp_path)
+        assert "escapes the repository" in problem
+
+    def test_iter_links_reports_line_numbers(self):
+        links = list(iter_links("a\n[x](one.md)\n\n[y](two.md) [z](3.md)\n"))
+        assert links == [(2, "one.md"), (4, "two.md"), (4, "3.md")]
