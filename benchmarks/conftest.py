@@ -97,6 +97,21 @@ def record_cache_result(name: str, **values: object) -> None:
     _CACHE_RESULTS[name] = dict(values)
 
 
+#: Results the telemetry-overhead benchmark (E18) records for
+#: BENCH_telemetry.json.
+_TELEMETRY_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_telemetry_result(name: str, **values: object) -> None:
+    """Record one telemetry-overhead measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_telemetry.json``
+    carries only the always-on-telemetry numbers (baseline vs armed
+    throughput on the E10 corpus, overhead percentage, event counts).
+    """
+    _TELEMETRY_RESULTS[name] = dict(values)
+
+
 def record_dispatch_result(name: str, **values: object) -> None:
     """Record one compiled-vs-naive dispatch measurement.
 
@@ -171,6 +186,17 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         try:
             (root / "BENCH_cache.json").write_text(
                 json.dumps(cache_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+    if _TELEMETRY_RESULTS:
+        telemetry_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _TELEMETRY_RESULTS,
+        }
+        try:
+            (root / "BENCH_telemetry.json").write_text(
+                json.dumps(telemetry_payload, indent=2, sort_keys=True) + "\n"
             )
         except OSError:  # pragma: no cover - read-only checkout
             pass

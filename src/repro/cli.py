@@ -35,7 +35,16 @@ from repro.core.service import (
     StdinSource,
 )
 from repro.html.spec import available_specs
-from repro.obs import use_profiler, use_registry, use_tracer
+from repro.obs import (
+    TelemetrySink,
+    TimeSeries,
+    record_run,
+    use_event_log,
+    use_profiler,
+    use_registry,
+    use_timeseries,
+    use_tracer,
+)
 
 
 def _default_jobs() -> int:
@@ -199,6 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
         "frequent message ids) to stderr",
     )
     parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=os.environ.get("WEBLINT_TELEMETRY_DIR") or None,
+        help="continuous telemetry: stream events to DIR/events.jsonl, "
+        "write metric snapshots to DIR/metrics.jsonl and DIR/metrics.prom, "
+        "and append a run summary to DIR/runs.jsonl "
+        "(default from WEBLINT_TELEMETRY_DIR)",
+    )
+    parser.add_argument(
         "--list-messages",
         action="store_true",
         help="list all message identifiers and exit",
@@ -348,8 +366,14 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     # stats reporter) report this run, not the process's whole history.
     with use_registry() as registry, contextlib.ExitStack() as stack:
         started = time.perf_counter()
+        started_unix = time.time()
         tracer = stack.enter_context(use_tracer()) if args.trace else None
         profiler = stack.enter_context(use_profiler()) if args.profile else None
+        sink = None
+        if args.telemetry_dir:
+            sink = TelemetrySink(args.telemetry_dir)
+            stack.enter_context(use_timeseries(TimeSeries()))
+            stack.enter_context(use_event_log(sink.open_event_log()))
 
         code = _check_paths(args, options, service, reporter, out, err)
         wall_seconds = time.perf_counter() - started
@@ -360,6 +384,12 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             err.write(profiler.render_report() + "\n")
         if args.stats:
             _print_stats(registry, reporter, wall_seconds, err)
+        if sink is not None:
+            record_run(
+                args.telemetry_dir, registry.snapshot(), "weblint",
+                wall_seconds, clock=lambda: started_unix,
+            )
+            sink.close(registry)
     return code
 
 

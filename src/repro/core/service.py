@@ -48,8 +48,10 @@ from repro.core.engine import Engine
 from repro.core.registry import RuleRegistry, default_registry
 from repro.core.rules.base import Rule
 from repro.html.spec import HTMLSpec, get_spec
+from repro.obs.events import get_event_log
 from repro.obs.metrics import MetricsRegistry, get_registry, set_registry, use_registry
 from repro.obs.profile import RuleProfiler, get_profiler, set_profiler, use_profiler
+from repro.obs.timeseries import get_timeseries
 from repro.obs.trace import Tracer, get_tracer, set_tracer, use_tracer
 
 
@@ -385,6 +387,10 @@ class LintService:
             text = source.text()
         except SourceError as exc:
             get_registry().inc("lint.source_errors")
+            get_event_log().emit(
+                "lint.source_error", level="error", file=source.name,
+                error=str(exc),
+            )
             return LintResult(name=source.name, error=str(exc))
         registry = get_registry()
         key = self._cache_key(text)
@@ -403,8 +409,24 @@ class LintService:
         with get_tracer().span("lint.file", file=source.name):
             context = self.engine.check(text, source.name)
         diagnostics = context.sorted_diagnostics()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
         registry.inc("lint.files")
-        registry.observe("lint.check_ms", (time.perf_counter() - start) * 1000.0)
+        registry.observe("lint.check_ms", elapsed_ms)
+        # Continuous-telemetry feeds: both are no-ops (one global read,
+        # one test) unless a run armed them.
+        series = get_timeseries()
+        if series is not None:
+            series.observe("lint.check_ms", elapsed_ms)
+        events = get_event_log()
+        if events.enabled:
+            events.note_operation("lint.file", elapsed_ms, file=source.name)
+            events.emit(
+                "lint.file",
+                level="debug",
+                file=source.name,
+                diagnostics=len(diagnostics),
+                duration_ms=round(elapsed_ms, 3),
+            )
         for diagnostic in diagnostics:
             registry.inc(f"lint.diagnostics.{diagnostic.category.value}")
         if key is not None:

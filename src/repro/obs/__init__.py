@@ -1,21 +1,41 @@
-"""``repro.obs`` -- tracing, metrics and profiling for the lint pipeline.
+"""``repro.obs`` -- the checker's continuous telemetry pipeline.
 
-Three independent layers, cheapest first:
+Layered cheapest-first; each layer is independently installable:
 
 - **metrics** (always on): process-local counters/gauges/histograms in a
   :class:`~repro.obs.metrics.MetricsRegistry`; instrumented code records
-  a handful of values per document, never per token.
+  a handful of values per document, never per token.  Histograms expose
+  interpolated p50/p95/p99 estimates.
+- **time-series** (off by default): per-second ring buffers via
+  :func:`~repro.obs.timeseries.get_timeseries` -- rolling rates and
+  windowed means for live progress views, flat memory however long the
+  run is.
+- **events** (off by default): a levelled, sampled JSON-lines event log
+  via :func:`~repro.obs.events.get_event_log`, including the automatic
+  ``slow_op`` log for any instrumented duration over a threshold.
 - **traces** (off by default): hierarchical spans via
   ``get_tracer().span(...)``; the default :class:`~repro.obs.trace.NullTracer`
   hands back one shared no-op span so disabled call sites do no work.
 - **profiles** (off by default): per-rule timing and per-message-id
   counts via a :class:`~repro.obs.profile.RuleProfiler`.
 
-See docs/observability.md for the metric namespace and usage recipes.
-This package imports nothing from the rest of ``repro``; every layer may
-depend on it without cycles.
+Export surfaces live in :mod:`repro.obs.export` (OpenMetrics text,
+``--telemetry-dir`` sinks) and :mod:`repro.obs.ledger` (the cross-run
+``runs.jsonl`` ledger).  See docs/observability.md for the metric/event
+namespace and usage recipes.  This package imports nothing from the
+rest of ``repro``; every layer may depend on it without cycles.
 """
 
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    get_event_log,
+    set_event_log,
+    use_event_log,
+)
+from repro.obs.export import Ticker, TelemetrySink, render_openmetrics
+from repro.obs.ledger import RunLedger, record_run, summarize_run
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
@@ -27,6 +47,12 @@ from repro.obs.profile import (
     get_profiler,
     set_profiler,
     use_profiler,
+)
+from repro.obs.timeseries import (
+    TimeSeries,
+    get_timeseries,
+    set_timeseries,
+    use_timeseries,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -43,6 +69,22 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "TimeSeries",
+    "get_timeseries",
+    "set_timeseries",
+    "use_timeseries",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "get_event_log",
+    "set_event_log",
+    "use_event_log",
+    "Ticker",
+    "TelemetrySink",
+    "render_openmetrics",
+    "RunLedger",
+    "record_run",
+    "summarize_run",
     "RuleProfiler",
     "get_profiler",
     "set_profiler",

@@ -100,8 +100,40 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def snapshot(self) -> dict[str, object]:
+    def percentile(self, q: float) -> float:
+        """Interpolated percentile estimate (``q`` in 0..100).
+
+        Walks the fixed buckets to the one containing the requested
+        rank and interpolates linearly inside it, so the estimate is a
+        pure function of the bucket counts (merging snapshots and then
+        asking for ``p95`` gives the same answer in parent and worker).
+        The overflow bucket has no upper bound, so ranks landing there
+        (and any interpolated value beyond it) clamp to the observed
+        maximum.
+        """
+        if not self.count:
+            return 0.0
+        target = (min(max(q, 0.0), 100.0) / 100.0) * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            if bucket_count and cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                return min(lower + (bound - lower) * fraction, self.max)
+            cumulative += bucket_count
+            lower = bound
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard latency trio: interpolated p50/p95/p99."""
         return {
+            "p50": round(self.percentile(50), 6),
+            "p95": round(self.percentile(95), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        snap = {
             "count": self.count,
             "sum": round(self.total, 6),
             "mean": round(self.mean, 6),
@@ -112,6 +144,8 @@ class Histogram:
             },
             "overflow": self.overflow,
         }
+        snap.update(self.percentiles())
+        return snap
 
 
 class MetricsRegistry:
@@ -205,7 +239,8 @@ class MetricsRegistry:
                 if "buckets" in value:  # histogram
                     lines.append(
                         f"{name}: count={value['count']} mean={value['mean']:g} "
-                        f"max={value['max']:g}"
+                        f"p50={value['p50']:g} p95={value['p95']:g} "
+                        f"p99={value['p99']:g} max={value['max']:g}"
                     )
                 else:  # gauge
                     lines.append(f"{name}: {value['value']:g} (max {value['max']:g})")

@@ -1,0 +1,189 @@
+"""Windowed time-series: per-second ring buffers over the live run.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` answers "how much, in
+total?"; long-running workloads (a site crawl, the future lint daemon)
+also need "how fast, *right now*?".  This module holds that windowed
+view: a :class:`TimeSeries` keeps one fixed ring of per-second buckets
+per metric, so rolling rates and means over the last N seconds cost a
+60-slot scan and the memory stays flat no matter how long the run is.
+
+Everything is driven by an injectable clock (any zero-argument callable
+returning seconds) so tests and golden renderings are deterministic;
+the default is :func:`time.monotonic`.
+
+Like the other obs layers there is a process-wide slot: instrumented
+code asks :func:`get_timeseries` and records only when a series is
+installed (``None`` by default), so the always-off cost is one global
+read and an ``is None`` test per document -- never per token.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+Clock = Callable[[], float]
+
+#: Default rolling window, in seconds (and ring slots per metric).
+DEFAULT_WINDOW_S = 60
+
+
+class RingSeries:
+    """Per-second buckets for one metric, in a fixed ring.
+
+    Slot ``second % window`` owns epoch-second ``second``; a write into
+    a slot carrying an older second resets it first, so stale data ages
+    out lazily with no background sweep.
+    """
+
+    __slots__ = ("window_s", "_seconds", "_sums", "_counts")
+
+    def __init__(self, window_s: int = DEFAULT_WINDOW_S) -> None:
+        self.window_s = max(1, int(window_s))
+        self._seconds = [-1] * self.window_s
+        self._sums = [0.0] * self.window_s
+        self._counts = [0] * self.window_s
+
+    def add(self, t: float, value: float = 1.0, count: int = 1) -> None:
+        second = int(t)
+        slot = second % self.window_s
+        if self._seconds[slot] != second:
+            self._seconds[slot] = second
+            self._sums[slot] = 0.0
+            self._counts[slot] = 0
+        self._sums[slot] += value
+        self._counts[slot] += count
+
+    def totals(self, t: float, window_s: Optional[int] = None) -> tuple[float, int]:
+        """``(sum, count)`` over the closed window ending at ``t``."""
+        window = min(self.window_s, window_s or self.window_s)
+        oldest = int(t) - window + 1
+        total = 0.0
+        count = 0
+        for slot in range(self.window_s):
+            if self._seconds[slot] >= oldest and self._seconds[slot] <= int(t):
+                total += self._sums[slot]
+                count += self._counts[slot]
+        return total, count
+
+
+class TimeSeries:
+    """Create-on-first-use ring buffers keyed by metric name.
+
+    ``observe`` drops a value into the current per-second bucket;
+    ``rate``/``mean`` aggregate over the trailing window.  Names follow
+    the registry's dotted convention so the two views line up (e.g. the
+    crawl records ``robot.pages.fetched`` into both).
+    """
+
+    def __init__(
+        self,
+        clock: Clock = time.monotonic,
+        window_s: int = DEFAULT_WINDOW_S,
+    ) -> None:
+        self.clock = clock
+        self.window_s = max(1, int(window_s))
+        self.series: dict[str, RingSeries] = {}
+        self._last_counters: dict[str, float] = {}
+
+    def _series(self, name: str) -> RingSeries:
+        ring = self.series.get(name)
+        if ring is None:
+            ring = self.series[name] = RingSeries(self.window_s)
+        return ring
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, name: str, value: float = 1.0, t: Optional[float] = None) -> None:
+        self._series(name).add(self.clock() if t is None else t, value)
+
+    def sample_registry(self, registry, t: Optional[float] = None) -> None:
+        """Fold counter growth since the last sample into the rings.
+
+        For code that only increments registry counters (no explicit
+        ``observe`` calls), a periodic ticker can call this instead: the
+        delta of every counter since the previous sample lands in the
+        current bucket under the counter's own name.
+        """
+        now = self.clock() if t is None else t
+        last = self._last_counters
+        current: dict[str, float] = {}
+        for name, value in registry.snapshot().items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                current[name] = float(value)
+                delta = current[name] - last.get(name, 0.0)
+                if delta > 0:
+                    self._series(name).add(now, delta, count=int(delta))
+        self._last_counters = current
+
+    # -- windowed reads ----------------------------------------------------
+
+    def rate(
+        self, name: str, window_s: Optional[int] = None, t: Optional[float] = None
+    ) -> float:
+        """Events per second over the trailing window (sum / window)."""
+        ring = self.series.get(name)
+        if ring is None:
+            return 0.0
+        now = self.clock() if t is None else t
+        window = min(self.window_s, window_s or self.window_s)
+        total, _count = ring.totals(now, window)
+        return total / window
+
+    def mean(
+        self, name: str, window_s: Optional[int] = None, t: Optional[float] = None
+    ) -> float:
+        """Mean observed value over the trailing window (0 when empty)."""
+        ring = self.series.get(name)
+        if ring is None:
+            return 0.0
+        now = self.clock() if t is None else t
+        total, count = ring.totals(now, window_s)
+        return total / count if count else 0.0
+
+    def snapshot(self, t: Optional[float] = None) -> dict[str, dict[str, float]]:
+        """Windowed view of every tracked name, sorted, JSON-able."""
+        now = self.clock() if t is None else t
+        result: dict[str, dict[str, float]] = {}
+        for name in sorted(self.series):
+            total, count = self.series[name].totals(now)
+            result[name] = {
+                "window_s": self.window_s,
+                "sum": round(total, 6),
+                "count": count,
+                "rate_per_s": round(total / self.window_s, 6),
+            }
+        return result
+
+
+# -- the process-wide active time-series (None = windowing off) -------------
+
+_timeseries: Optional[TimeSeries] = None
+
+
+def get_timeseries() -> Optional[TimeSeries]:
+    """The active time-series, or ``None`` when windowing is off."""
+    return _timeseries
+
+
+def set_timeseries(series: Optional[TimeSeries]) -> Optional[TimeSeries]:
+    """Install (or clear, with ``None``) the series; returns the previous."""
+    global _timeseries
+    previous = _timeseries
+    _timeseries = series
+    return previous
+
+
+class use_timeseries:
+    """Context manager: window a region with a fresh (or given) series."""
+
+    def __init__(self, series: Optional[TimeSeries] = None) -> None:
+        self.series = series if series is not None else TimeSeries()
+        self._previous: Optional[TimeSeries] = None
+
+    def __enter__(self) -> TimeSeries:
+        self._previous = set_timeseries(self.series)
+        return self.series
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_timeseries(self._previous)

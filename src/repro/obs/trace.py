@@ -24,6 +24,8 @@ import json
 import time
 from typing import IO, Iterator, Optional
 
+from repro.obs.events import get_event_log
+
 
 class Span:
     """One timed region; nests under whatever span was open at entry."""
@@ -130,6 +132,19 @@ class Tracer:
         while self._stack:
             if self._stack.pop() is span:
                 break
+        # Every traced span feeds the slow-op log: an installed event
+        # log turns any span over its threshold into a `slow_op` event.
+        events = get_event_log()
+        if events.enabled:
+            events.note_operation(
+                span.name,
+                span.duration_ms,
+                **{
+                    key: _jsonable(value)
+                    for key, value in span.attributes.items()
+                    if key not in ("op", "duration_ms", "threshold_ms")
+                },
+            )
 
     # -- exporters ---------------------------------------------------------
 

@@ -17,21 +17,38 @@ lint results persist under DIR, so a second run revalidates unchanged
 pages with conditional fetches (``304 Not Modified``) and serves their
 lint results from the cache -- only changed pages pay for transfer and
 linting.  See docs/caching.md.
+
+Telemetry: ``--progress`` renders a live one-line crawl report on
+stderr (pages done/in flight/failed, pages/s, cache-hit ratio, ETA);
+``--telemetry-dir DIR`` streams events to ``DIR/events.jsonl`` and
+writes ``DIR/metrics.jsonl`` + ``DIR/metrics.prom`` snapshots.  Every
+run with ``--state-dir`` or ``--telemetry-dir`` appends a summary to
+``runs.jsonl`` for ``python -m repro.tools.compare_runs``.  See
+docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.config.options import Options
 from repro.core.cache import ResultCache
 from repro.core.service import LintService
-from repro.obs import use_registry
+from repro.obs import (
+    TelemetrySink,
+    TimeSeries,
+    record_run,
+    use_event_log,
+    use_registry,
+    use_timeseries,
+)
+from repro.obs.events import NULL_EVENT_LOG
 from repro.robot.poacher import Poacher
-from repro.robot.traversal import TraversalPolicy
+from repro.robot.traversal import CrawlProgress, TraversalPolicy
 from repro.www.client import CircuitBreaker, RetryPolicy, UserAgent
 from repro.www.httpcache import HttpCache
 from repro.www.virtualweb import VirtualWeb
@@ -139,8 +156,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print crawl metrics (fetches, retries, per-URL latency) "
-        "to stderr after the report",
+        help="print crawl metrics (fetches, retries, latency "
+        "percentiles, slowest URLs) to stderr after the report",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live one-line crawl progress report on stderr "
+        "(pages done/in flight/failed, pages/s, cache hits, ETA)",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="stream structured events to DIR/events.jsonl and write "
+        "metric snapshots to DIR/metrics.jsonl and DIR/metrics.prom",
     )
     return parser
 
@@ -185,8 +215,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         service=LintService(options=options, cache=result_cache),
         policy=policy,
     )
-    with use_registry() as registry:
-        report = poacher.crawl(args.start)
+    sink = TelemetrySink(args.telemetry_dir) if args.telemetry_dir else None
+    event_log = sink.open_event_log() if sink is not None else NULL_EVENT_LOG
+    started = time.time()
+    start_perf = time.perf_counter()
+    with use_registry() as registry, use_timeseries(TimeSeries()), \
+            use_event_log(event_log):
+        progress = (
+            CrawlProgress(poacher.robot, sys.stderr)
+            if args.progress else None
+        )
+        report = poacher.crawl(args.start, progress=progress)
         if http_cache is not None:
             http_cache.save()
 
@@ -197,6 +236,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 sys.stdout.write(f"{diagnostic}\n")
         if args.stats:
             _print_stats(registry, poacher.robot.stats, sys.stderr)
+        wall_s = time.perf_counter() - start_perf
+        ledger_dir = args.state_dir or args.telemetry_dir
+        if ledger_dir:
+            record_run(
+                ledger_dir, registry.snapshot(), "poacher", wall_s,
+                clock=lambda: started,
+            )
+        if sink is not None:
+            sink.close(registry)
     return 1 if report.total_problems() else 0
 
 
@@ -207,15 +255,17 @@ def _print_stats(registry, crawl_stats, stream) -> None:
             "robot.pages.fetched",
             "robot.fetch.retries",
             "robot.fetch.http_errors",
+            "robot.fetch.latency_ms",
             "www.retry.attempts",
             "www.conditional.revalidated",
             "cache.lint.hits",
         )
     ):
         stream.write(f"  {line}\n")
-    if crawl_stats.url_latency_ms:
-        stream.write("  per-URL fetch latency:\n")
-        for url, latency_ms in crawl_stats.url_latency_ms.items():
+    slowest = crawl_stats.slowest()
+    if slowest:
+        stream.write("  slowest fetches:\n")
+        for url, latency_ms in slowest:
             stream.write(f"    {url}: {latency_ms:.2f} ms\n")
 
 

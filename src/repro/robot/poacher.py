@@ -20,7 +20,7 @@ from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint
 from repro.core.service import LintService, StringSource
 from repro.robot.linkcheck import FragmentChecker, LinkChecker, LinkStatus
-from repro.robot.traversal import Robot, TraversalPolicy
+from repro.robot.traversal import CrawlProgress, Robot, TraversalPolicy
 from repro.site.links import Link
 from repro.www.client import UserAgent
 from repro.www.message import Response
@@ -138,8 +138,17 @@ class Poacher:
         self.link_checker = LinkChecker(agent)
         self.fragment_checker = FragmentChecker(agent)
 
-    def crawl(self, start_url: str) -> CrawlReport:
-        """Crawl, lint and link-check everything reachable."""
+    def crawl(
+        self,
+        start_url: str,
+        progress: Optional[CrawlProgress] = None,
+    ) -> CrawlReport:
+        """Crawl, lint and link-check everything reachable.
+
+        ``progress`` (built with ``CrawlProgress(poacher.robot, ...)``)
+        renders a live one-line report on its stream for the duration
+        of the crawl.
+        """
         report = CrawlReport(start_url=start_url)
         validate = self.options.follow_links
 
@@ -184,7 +193,7 @@ class Poacher:
                             result.bad_fragments.append(link)
             report.pages.append(result)
 
-        self.robot.crawl(start_url, on_page)
+        self.robot.crawl(start_url, on_page, progress=progress)
         stats = self.robot.stats
         report.pages_failed = stats.pages_failed
         report.pages_http_error = stats.pages_http_error

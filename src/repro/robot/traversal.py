@@ -27,14 +27,18 @@ handling at the transport layer.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import IO, Callable, Optional
 
+from repro.obs.events import get_event_log
+from repro.obs.export import Ticker
 from repro.obs.metrics import get_registry
+from repro.obs.timeseries import TimeSeries, get_timeseries
 from repro.obs.trace import get_tracer
 from repro.site.links import extract_links
 from repro.www.client import (
@@ -69,6 +73,10 @@ class TraversalPolicy:
     max_in_flight_per_host: int = 4
 
 
+#: How many of the slowest fetches :class:`CrawlStats` keeps per crawl.
+SLOWEST_FETCHES_KEPT = 10
+
+
 @dataclass
 class CrawlStats:
     pages_fetched: int = 0
@@ -80,12 +88,30 @@ class CrawlStats:
     urls_skipped_offsite: int = 0
     retries: int = 0
     bytes_fetched: int = 0
-    #: wall time of the fetch (including retries), per requested URL.
-    url_latency_ms: dict[str, float] = field(default_factory=dict)
+    #: The slowest fetches seen, as a bounded ``(latency_ms, url)`` heap.
+    #: Per-URL latency is otherwise summarized into the
+    #: ``robot.fetch.latency_ms`` histogram (and the windowed
+    #: time-series when one is armed), so crawl memory stays flat at
+    #: site scale instead of growing one dict entry per URL.
+    slowest_fetches: list[tuple[float, str]] = field(default_factory=list)
     #: transport-failed URL -> last error text.
     failed_urls: dict[str, str] = field(default_factory=dict)
     #: HTTP-failed URL -> final status code.
     http_error_urls: dict[str, int] = field(default_factory=dict)
+
+    def note_latency(self, url: str, latency_ms: float) -> None:
+        """Fold one fetch's latency into the bounded slowest-N heap."""
+        if len(self.slowest_fetches) < SLOWEST_FETCHES_KEPT:
+            heapq.heappush(self.slowest_fetches, (latency_ms, url))
+        elif latency_ms > self.slowest_fetches[0][0]:
+            heapq.heappushpop(self.slowest_fetches, (latency_ms, url))
+
+    def slowest(self) -> list[tuple[str, float]]:
+        """The kept slowest fetches as ``(url, latency_ms)``, slowest first."""
+        return [
+            (url, latency_ms)
+            for latency_ms, url in sorted(self.slowest_fetches, reverse=True)
+        ]
 
 
 class _HostThrottle:
@@ -117,6 +143,101 @@ class _HostThrottle:
         self._slots.release()
 
 
+class CrawlProgress:
+    """The ``--progress`` view: one live line summarizing the crawl.
+
+    A background :class:`~repro.obs.export.Ticker` samples the metrics
+    registry into a windowed :class:`~repro.obs.timeseries.TimeSeries`
+    every ``interval_s`` and rewrites one carriage-returned status line:
+    pages done / in flight / failed, the rolling pages-per-second rate,
+    the cache-hit ratio and an ETA over what is still queued.
+
+    Rendering is a pure function of (robot state, registry, series,
+    clock), so with an injected clock the line is byte-deterministic --
+    the golden tests in ``benchmarks/test_e18_telemetry.py`` hold that.
+    """
+
+    def __init__(
+        self,
+        robot: "Robot",
+        stream: IO[str],
+        clock: Callable[[], float] = time.monotonic,
+        interval_s: float = 1.0,
+        window_s: int = 10,
+        series: Optional[TimeSeries] = None,
+    ) -> None:
+        self.robot = robot
+        self.stream = stream
+        self.clock = clock
+        self.interval_s = interval_s
+        self.window_s = window_s
+        self.series = (
+            series
+            if series is not None
+            else TimeSeries(clock=clock, window_s=max(window_s, 2))
+        )
+        self._ticker: Optional[Ticker] = None
+        self._last_width = 0
+
+    def render_line(self, t: Optional[float] = None) -> str:
+        now = self.clock() if t is None else t
+        stats = self.robot.stats
+        registry = get_registry()
+        done = stats.pages_fetched
+        failed = stats.pages_failed + stats.pages_http_error
+        in_flight = self.robot.in_flight
+        queued = self.robot.frontier_size
+        rate = self.series.rate(
+            "robot.pages.fetched", window_s=self.window_s, t=now
+        )
+        hits = (
+            registry.value("www.cache.hits")
+            + registry.value("www.conditional.revalidated")
+            + registry.value("cache.lint.hits")
+        )
+        misses = registry.value("www.cache.misses") + registry.value(
+            "cache.lint.misses"
+        )
+        ratio = hits / (hits + misses) if hits + misses else 0.0
+        remaining = queued + in_flight
+        if not remaining:
+            eta = "0s"
+        elif rate > 0:
+            eta = f"{remaining / rate:.0f}s"
+        else:
+            eta = "?"
+        return (
+            f"crawl: {done} done, {in_flight} in flight, {failed} failed | "
+            f"{rate:.1f} pages/s | cache hits {ratio * 100:.0f}% | ETA {eta}"
+        )
+
+    def tick(self) -> None:
+        now = self.clock()
+        self.series.sample_registry(get_registry(), t=now)
+        line = self.render_line(t=now)
+        padding = " " * max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        try:
+            self.stream.write("\r" + line + padding)
+            self.stream.flush()
+        except OSError:  # pragma: no cover - closed stream
+            pass
+
+    def start(self) -> "CrawlProgress":
+        self._ticker = Ticker(self.interval_s, self.tick).start()
+        return self
+
+    def stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.stop()  # fires one final tick
+            self._ticker = None
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except OSError:  # pragma: no cover - closed stream
+                pass
+
+
 class Robot:
     """Breadth-first traversal engine."""
 
@@ -130,6 +251,19 @@ class Robot:
         self.stats = CrawlStats()
         self._robots_cache: dict[str, RobotsTxt] = {}
         self._stats_lock = threading.Lock()
+        self._in_flight = 0
+        self._frontier: Optional[deque] = None
+
+    @property
+    def in_flight(self) -> int:
+        """Fetches currently executing (0 outside a crawl)."""
+        return self._in_flight
+
+    @property
+    def frontier_size(self) -> int:
+        """URLs queued and not yet admitted (0 outside a crawl)."""
+        frontier = self._frontier
+        return len(frontier) if frontier is not None else 0
 
     # -- robots.txt politeness ---------------------------------------------------
 
@@ -164,36 +298,47 @@ class Robot:
         self,
         start_url: str,
         on_page: Optional[PageCallback] = None,
+        progress: Optional[CrawlProgress] = None,
     ) -> list[str]:
         """Breadth-first crawl from ``start_url``.
 
         ``on_page(url, response, links)`` is called for every
         successfully fetched HTML page.  Returns the list of page URLs
         visited, in crawl order -- the same order whether the frontier
-        runs sequentially or concurrently.
+        runs sequentially or concurrently.  ``progress`` (a
+        :class:`CrawlProgress`) runs its live ticker for the duration
+        of the crawl; it never affects the crawl's result.
         """
         start = urljoin(start_url, "")
         frontier: deque[str] = deque([str(start.without_fragment())])
         seen: set[str] = set(frontier)
         processed: set[str] = set()  # final URLs handed to on_page
         visited: list[str] = []
+        self._frontier = frontier
 
-        with get_tracer().span(
-            "robot.crawl", start=start_url, workers=self.policy.concurrency
-        ) as crawl_span:
-            if self.policy.concurrency > 1:
-                self._crawl_concurrent(
-                    start, frontier, seen, processed, visited, on_page
+        if progress is not None:
+            progress.start()
+        try:
+            with get_tracer().span(
+                "robot.crawl", start=start_url, workers=self.policy.concurrency
+            ) as crawl_span:
+                if self.policy.concurrency > 1:
+                    self._crawl_concurrent(
+                        start, frontier, seen, processed, visited, on_page
+                    )
+                else:
+                    self._crawl_sequential(
+                        start, frontier, seen, processed, visited, on_page
+                    )
+                crawl_span.annotate(
+                    pages=self.stats.pages_fetched,
+                    http_errors=self.stats.pages_http_error,
+                    transport_failures=self.stats.pages_failed,
                 )
-            else:
-                self._crawl_sequential(
-                    start, frontier, seen, processed, visited, on_page
-                )
-            crawl_span.annotate(
-                pages=self.stats.pages_fetched,
-                http_errors=self.stats.pages_http_error,
-                transport_failures=self.stats.pages_failed,
-            )
+        finally:
+            if progress is not None:
+                progress.stop()
+            self._frontier = None
         return visited
 
     def _crawl_sequential(
@@ -283,11 +428,19 @@ class Robot:
         if response is None:
             self.stats.pages_failed += 1
             registry.inc("robot.fetch.failures")
+            get_event_log().emit(
+                "robot.fetch_failed", level="warn", url=url,
+                error=self.stats.failed_urls.get(url, ""),
+            )
             return
         if not response.ok:
             self.stats.pages_http_error += 1
             self.stats.http_error_urls[url] = response.status
             registry.inc("robot.fetch.http_errors")
+            get_event_log().emit(
+                "robot.http_error", level="warn", url=url,
+                status=response.status,
+            )
             return
 
         if response.url in processed:
@@ -300,6 +453,9 @@ class Robot:
         self.stats.bytes_fetched += len(response.body)
         registry.inc("robot.pages.fetched")
         registry.inc("robot.fetch.bytes", len(response.body))
+        series = get_timeseries()
+        if series is not None:
+            series.observe("robot.pages.fetched")
         visited.append(response.url)
         if not response.is_html:
             return
@@ -327,15 +483,17 @@ class Robot:
         transient HTTP statuses (5xx/429).  The last response -- OK or
         not -- is returned so a persistent 404/500 is reported as an
         HTTP error; ``None`` means no attempt produced a response.
-        Records the per-URL fetch latency (wall time across all
-        attempts) into ``stats.url_latency_ms`` and the
-        ``robot.fetch.latency_ms`` histogram.  Safe to call from
-        frontier worker threads.
+        The fetch's wall time (across all attempts) lands in the
+        ``robot.fetch.latency_ms`` histogram, the windowed time-series
+        (when armed), the slow-op event log, and the crawl's bounded
+        slowest-N list.  Safe to call from frontier worker threads.
         """
         registry = get_registry()
         start = time.perf_counter()
         response = None
         last_error: Optional[FetchError] = None
+        with self._stats_lock:
+            self._in_flight += 1
         try:
             # A negative max_retries must still mean one attempt.
             for attempt in range(max(0, self.policy.max_retries) + 1):
@@ -355,8 +513,15 @@ class Robot:
         finally:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             with self._stats_lock:
-                self.stats.url_latency_ms[url] = elapsed_ms
+                self._in_flight -= 1
+                self.stats.note_latency(url, elapsed_ms)
                 if response is None and last_error is not None:
                     self.stats.failed_urls[url] = str(last_error)
             registry.observe("robot.fetch.latency_ms", elapsed_ms)
+            series = get_timeseries()
+            if series is not None:
+                series.observe("robot.fetch.latency_ms", elapsed_ms)
+            events = get_event_log()
+            if events.enabled:
+                events.note_operation("robot.fetch", elapsed_ms, url=url)
         return response

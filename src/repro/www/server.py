@@ -6,10 +6,14 @@ installation behind firewalls, e.g. for intranet use" (section 4.6).
 This module is that standard distribution's server half: a threaded
 HTTP/1.0 server written on plain sockets, serving
 
-- the resources of a :class:`~repro.www.virtualweb.VirtualWeb`, and
+- the resources of a :class:`~repro.www.virtualweb.VirtualWeb`,
 - optionally the weblint gateway under a configurable path
   (``/weblint`` by default), so ``GET /weblint?url=...`` returns a
-  report page.
+  report page, and
+- the process's metrics registry in the OpenMetrics text exposition
+  under ``/metrics`` (configurable; ``metrics_path=None`` disables it),
+  so a Prometheus-style scraper -- or ``curl`` -- can watch a running
+  gateway.
 
 It exists to exercise the full network code path end to end inside the
 test-suite (real sockets, real request parsing) without any outside
@@ -44,11 +48,13 @@ class HTTPServer:
         port: int = 0,
         gateway=None,
         gateway_path: str = "/weblint",
+        metrics_path: Optional[str] = "/metrics",
     ) -> None:
         self.web = web
         self.host = host
         self.gateway = gateway
         self.gateway_path = gateway_path
+        self.metrics_path = metrics_path
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._socket.bind((host, port))
@@ -145,6 +151,15 @@ class HTTPServer:
         self.requests_served += 1
 
         path, _, query = target.partition("?")
+        if self.metrics_path is not None and path == self.metrics_path:
+            from repro.obs.export import render_openmetrics
+
+            return _render(
+                200,
+                render_openmetrics(),
+                content_type="text/plain; version=0.0.4",
+                include_body=method != "HEAD",
+            )
         if self.gateway is not None and path == self.gateway_path:
             from repro.gateway.forms import parse_query_string
 

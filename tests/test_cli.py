@@ -276,6 +276,50 @@ class TestWeblintObservabilityCli:
         data = json.loads(capsys.readouterr().out)
         assert data["diagnostics"]["total"] == 7
         assert data["metrics"]["lint.files"] == 1
+        # Histogram snapshots carry interpolated percentiles.
+        assert "p95" in data["metrics"]["lint.check_ms"]
+
+    def test_stats_flag_shows_percentiles(self, example_file, capsys):
+        weblint_main(["--no-config", "--stats", str(example_file)])
+        err = capsys.readouterr().err
+        assert "lint.check_ms: count=1" in err
+        assert "p50=" in err and "p95=" in err and "p99=" in err
+
+    def test_telemetry_dir(self, example_file, tmp_path, capsys):
+        import json
+
+        telemetry = tmp_path / "telemetry"
+        code = weblint_main(
+            ["--no-config", "--telemetry-dir", str(telemetry),
+             str(example_file)]
+        )
+        assert code == 1  # the example page still has problems
+        prom = (telemetry / "metrics.prom").read_text()
+        assert "lint_files_total 1" in prom
+        assert 'lint_check_ms_bucket{le="+Inf"} 1' in prom
+        runs = [
+            json.loads(line)
+            for line in (telemetry / "runs.jsonl").read_text().splitlines()
+        ]
+        assert runs[-1]["tool"] == "weblint"
+        assert runs[-1]["documents"] == 1
+        assert runs[-1]["diagnostics"] == 7
+
+    def test_telemetry_dir_streams_slow_ops(self, tmp_path, capsys):
+        import json
+
+        page = tmp_path / "page.html"
+        page.write_text(make_document("<p>ok</p>"))
+        telemetry = tmp_path / "telemetry"
+        # slow_ms is not CLI-configurable, but traced spans feed the
+        # event log, so --trace plus an (almost) instant document still
+        # exercises the events.jsonl stream end to end.
+        weblint_main(
+            ["--no-config", "--telemetry-dir", str(telemetry), str(page)]
+        )
+        assert (telemetry / "events.jsonl").exists()
+        for line in (telemetry / "events.jsonl").read_text().splitlines():
+            json.loads(line)  # every line parses
 
     def test_recurse_with_stats_counts_site_metrics(self, tmp_path, capsys):
         (tmp_path / "index.html").write_text(
@@ -323,8 +367,67 @@ class TestPoacherCli:
         assert "poacher stats:" in err
         assert "robot.pages.fetched: 2" in err
         assert "robot.fetch.retries: 0" in err
-        assert "per-URL fetch latency:" in err
+        # Latency is summarized (histogram percentiles + a bounded
+        # slowest-N list), not stored per URL.
+        assert "robot.fetch.latency_ms: count=2" in err
+        assert "p95=" in err
+        assert "slowest fetches:" in err
         assert "http://localhost/index.html:" in err
+
+    def test_progress_flag(self, tmp_path, capsys):
+        site = PageGenerator(seed=9).site(3)
+        for name, body in site.items():
+            (tmp_path / name).write_text(body)
+        code = poacher_main([str(tmp_path), "--no-links", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "crawl: 3 done, 0 in flight, 0 failed" in err
+        assert "pages/s" in err and "ETA" in err
+
+    def test_telemetry_dir(self, tmp_path, capsys):
+        import json
+
+        site_dir = tmp_path / "site"
+        site_dir.mkdir()
+        for name, body in PageGenerator(seed=9).site(2).items():
+            (site_dir / name).write_text(body)
+        telemetry = tmp_path / "telemetry"
+        code = poacher_main(
+            [str(site_dir), "--no-links", "--telemetry-dir", str(telemetry)]
+        )
+        assert code == 0
+        prom = (telemetry / "metrics.prom").read_text()
+        assert "robot_pages_fetched_total 2" in prom
+        assert prom.endswith("# EOF\n")
+        metrics = json.loads(
+            (telemetry / "metrics.jsonl").read_text().splitlines()[-1]
+        )
+        assert metrics["metrics"]["robot.pages.fetched"] == 2
+        runs = [
+            json.loads(line)
+            for line in (telemetry / "runs.jsonl").read_text().splitlines()
+        ]
+        assert [r["run"] for r in runs] == [1]
+        assert runs[0]["tool"] == "poacher"
+        assert runs[0]["pages"] == 2
+
+    def test_ledger_prefers_state_dir(self, tmp_path):
+        site_dir = tmp_path / "site"
+        site_dir.mkdir()
+        for name, body in PageGenerator(seed=9).site(2).items():
+            (site_dir / name).write_text(body)
+        state = tmp_path / "state"
+        poacher_main([str(site_dir), "--no-links", "--state-dir", str(state)])
+        poacher_main([str(site_dir), "--no-links", "--state-dir", str(state)])
+        import json
+
+        runs = [
+            json.loads(line)
+            for line in (state / "runs.jsonl").read_text().splitlines()
+        ]
+        assert [r["run"] for r in runs] == [1, 2]
+        # The warm run revalidated both pages.
+        assert runs[1]["revalidated"] == 2
 
 
 class TestGatewayCli:

@@ -567,7 +567,10 @@ class TestRobotAndClientMetrics:
             latency = registry.snapshot()["robot.fetch.latency_ms"]
             assert latency["count"] == 2
         assert robot.stats.retries == 1
-        assert set(robot.stats.url_latency_ms) == set(visited)
+        # Per-URL latency is bounded: a slowest-N list, not a dict that
+        # grows with the site.
+        assert set(url for url, _ms in robot.stats.slowest()) == set(visited)
+        assert all(ms >= 0.0 for _url, ms in robot.stats.slowest())
 
     def test_failed_fetch_counts_failure(self):
         web = VirtualWeb()  # completely empty: everything 404s
