@@ -83,6 +83,11 @@ def summarize_run(
         "error_rate": round(errors / attempted, 6) if attempted else 0.0,
         "cache_lint_hits": count("cache.lint.hits"),
         "revalidated": count("www.conditional.revalidated"),
+        #: Pages restored from the frontier journal instead of crawled.
+        "resumed_pages": count("robot.frontier.resumed_pages"),
+        #: Completed pages a --resume had to fetch again (body evicted);
+        #: the interrupted-crawl CI gate holds this at zero.
+        "refetched_pages": count("robot.frontier.resume_refetched"),
     }
     if wall_s > 0:
         record["docs_per_s"] = round(documents / wall_s, 3)

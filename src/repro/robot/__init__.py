@@ -6,14 +6,22 @@ included with the robot module for Perl.  Poacher also performs basic
 link validation."
 
 - :mod:`repro.robot.traversal` -- the generic traversal engine (the
-  ``WWW::Robot`` analogue): breadth-first crawl, same-host policy,
+  ``WWW::Robot`` analogue): streaming crawl frontier, same-host policy,
   robots.txt politeness, page hooks;
+- :mod:`repro.robot.frontier` -- the scheduler underneath it:
+  priority queue + request-fingerprint dupefilter + per-host
+  downloader slots, with a disk-backed journal for ``--resume``;
 - :mod:`repro.robot.linkcheck` -- HEAD-based link validation with
   caching and redirect reporting (section 3.5's "broken link robots");
 - :mod:`repro.robot.poacher` -- :class:`Poacher`, tying traversal, lint
   and link validation into one crawl report.
 """
 
+from repro.robot.frontier import (
+    FrontierJournal,
+    FrontierScheduler,
+    request_fingerprint,
+)
 from repro.robot.linkcheck import LinkChecker, LinkStatus
 from repro.robot.poacher import CrawlReport, PageResult, Poacher
 from repro.robot.traversal import Robot, TraversalPolicy
@@ -21,6 +29,9 @@ from repro.robot.traversal import Robot, TraversalPolicy
 __all__ = [
     "Robot",
     "TraversalPolicy",
+    "FrontierScheduler",
+    "FrontierJournal",
+    "request_fingerprint",
     "LinkChecker",
     "LinkStatus",
     "Poacher",

@@ -12,11 +12,14 @@ The resilience layer is fully scriptable: ``--retries``/``--backoff``/
 ``--fault-seed`` inject deterministic transient 503s into the mounted
 site so the whole stack can be exercised without a hostile network.
 
-``--state-dir DIR`` makes the crawl *incremental*: HTTP validators and
-lint results persist under DIR, so a second run revalidates unchanged
-pages with conditional fetches (``304 Not Modified``) and serves their
-lint results from the cache -- only changed pages pay for transfer and
-linting.  See docs/caching.md.
+``--state-dir DIR`` makes the crawl *incremental*: HTTP validators,
+lint results and the frontier journal persist under DIR, so a second
+run revalidates unchanged pages with conditional fetches (``304 Not
+Modified``) and serves their lint results from the cache -- only
+changed pages pay for transfer and linting.  ``--resume`` replays the
+journal of a killed crawl: completed pages are restored from the body
+store without refetching and only the unfinished frontier is crawled.
+See docs/caching.md and docs/user-guide.md.
 
 Telemetry: ``--progress`` renders a live one-line crawl report on
 stderr (pages done/in flight/failed, pages/s, cache-hit ratio, ETA);
@@ -47,6 +50,7 @@ from repro.obs import (
     use_timeseries,
 )
 from repro.obs.events import NULL_EVENT_LOG
+from repro.robot.frontier import FrontierJournal
 from repro.robot.poacher import Poacher
 from repro.robot.traversal import CrawlProgress, TraversalPolicy
 from repro.www.client import CircuitBreaker, RetryPolicy, UserAgent
@@ -149,9 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-dir",
         metavar="DIR",
         default=None,
-        help="persist crawl state (HTTP validators, lint results) under "
-        "DIR so a re-crawl revalidates unchanged pages instead of "
-        "re-fetching and re-linting them",
+        help="persist crawl state (HTTP validators, lint results, the "
+        "frontier journal) under DIR so a re-crawl revalidates "
+        "unchanged pages instead of re-fetching and re-linting them",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted crawl from the journal under "
+        "--state-dir: completed pages are restored without refetching",
     )
     parser.add_argument(
         "--stats",
@@ -176,7 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not args.state_dir:
+        parser.error("--resume requires --state-dir")
 
     web = VirtualWeb()
     web.add_site("http://localhost/", args.site_dir)
@@ -185,11 +198,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         web.add_fault(rate=args.fault_rate, status=503, times=None)
     http_cache = None
     result_cache = None
+    journal = None
     if args.state_dir:
         state = Path(args.state_dir)
         http_cache = HttpCache(state / "http")
         http_cache.load()
         result_cache = ResultCache(state / "lint")
+        # Each frontier checkpoint also persists the HTTP index, so a
+        # kill between checkpoints costs at most checkpoint_every pages
+        # of conditional refetches -- never completed-page bodies.
+        journal = FrontierJournal(
+            state / "frontier", on_checkpoint=lambda: http_cache.save()
+        )
     agent = UserAgent(
         web,
         retry=RetryPolicy(max_retries=max(0, args.retries),
@@ -214,6 +234,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         agent,
         service=LintService(options=options, cache=result_cache),
         policy=policy,
+        journal=journal,
     )
     sink = TelemetrySink(args.telemetry_dir) if args.telemetry_dir else None
     event_log = sink.open_event_log() if sink is not None else NULL_EVENT_LOG
@@ -225,7 +246,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             CrawlProgress(poacher.robot, sys.stderr)
             if args.progress else None
         )
-        report = poacher.crawl(args.start, progress=progress)
+        report = poacher.crawl(
+            args.start, progress=progress, resume=args.resume
+        )
         if http_cache is not None:
             http_cache.save()
 
@@ -253,6 +276,8 @@ def _print_stats(registry, crawl_stats, stream) -> None:
     for line in registry.summary_lines(
         defaults=(
             "robot.pages.fetched",
+            "robot.frontier.admitted",
+            "robot.frontier.resumed_pages",
             "robot.fetch.retries",
             "robot.fetch.http_errors",
             "robot.fetch.latency_ms",
@@ -262,6 +287,14 @@ def _print_stats(registry, crawl_stats, stream) -> None:
         )
     ):
         stream.write(f"  {line}\n")
+    if crawl_stats.host_slots:
+        stream.write("  host slots:\n")
+        for host, slot in crawl_stats.host_slots.items():
+            stream.write(
+                f"    {host}: {slot['fetches']:g} fetch(es), "
+                f"max {slot['max_in_flight']:g} in flight, "
+                f"waited {slot['wait_ms']:g} ms\n"
+            )
     slowest = crawl_stats.slowest()
     if slowest:
         stream.write("  slowest fetches:\n")

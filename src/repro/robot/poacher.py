@@ -19,6 +19,7 @@ from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint
 from repro.core.service import LintService, StringSource
+from repro.robot.frontier import FrontierJournal
 from repro.robot.linkcheck import FragmentChecker, LinkChecker, LinkStatus
 from repro.robot.traversal import CrawlProgress, Robot, TraversalPolicy
 from repro.site.links import Link
@@ -123,6 +124,7 @@ class Poacher:
         options: Optional[Options] = None,
         policy: Optional[TraversalPolicy] = None,
         service: Optional[LintService] = None,
+        journal: Optional[FrontierJournal] = None,
     ) -> None:
         self.agent = agent
         if service is None:
@@ -134,7 +136,7 @@ class Poacher:
         self.weblint = weblint
         self.options = service.options
         self.policy = policy if policy is not None else TraversalPolicy()
-        self.robot = Robot(agent, self.policy)
+        self.robot = Robot(agent, self.policy, journal=journal)
         self.link_checker = LinkChecker(agent)
         self.fragment_checker = FragmentChecker(agent)
 
@@ -142,12 +144,15 @@ class Poacher:
         self,
         start_url: str,
         progress: Optional[CrawlProgress] = None,
+        resume: bool = False,
     ) -> CrawlReport:
         """Crawl, lint and link-check everything reachable.
 
         ``progress`` (built with ``CrawlProgress(poacher.robot, ...)``)
         renders a live one-line report on its stream for the duration
-        of the crawl.
+        of the crawl.  ``resume=True`` (requires a journal) replays a
+        killed crawl's persisted frontier before fetching anything new;
+        the merged report is identical to an uninterrupted crawl's.
         """
         report = CrawlReport(start_url=start_url)
         validate = self.options.follow_links
@@ -193,7 +198,10 @@ class Poacher:
                             result.bad_fragments.append(link)
             report.pages.append(result)
 
-        self.robot.crawl(start_url, on_page, progress=progress)
+        self.robot.crawl(start_url, on_page, progress=progress, resume=resume)
+        # Pages arrive in completion order; the canonical report sorts
+        # by URL so any worker count yields identical bytes.
+        report.pages.sort(key=lambda page: page.url)
         stats = self.robot.stats
         report.pages_failed = stats.pages_failed
         report.pages_http_error = stats.pages_http_error

@@ -1,19 +1,36 @@
 """Generic web traversal -- the ``WWW::Robot`` analogue.
 
-A breadth-first crawler over a :class:`~repro.www.client.UserAgent`:
-maintains a frontier and a visited set, restricts itself to the starting
-host by default, honours robots.txt, and hands every fetched page to a
-callback.  Both poacher and ad-hoc scripts build on this engine, just as
-the paper's poacher builds on the Perl robot module.
+A crawler over a :class:`~repro.www.client.UserAgent`: maintains a
+frontier and a visited set, restricts itself to the starting host by
+default, honours robots.txt, and hands every fetched page to a
+callback.  Both poacher and ad-hoc scripts build on this engine, just
+as the paper's poacher builds on the Perl robot module.
 
-With ``TraversalPolicy.concurrency > 1`` the frontier runs
-level-synchronously over a thread pool: each BFS wave is fetched in
-parallel (bounded by per-host politeness -- a minimum delay between
-fetches and a max-in-flight cap per host) while results are folded back
-into the crawl **in wave order**, so the visited list, the page
-callbacks and the report are byte-identical to a sequential crawl.
-Only fetch latency overlaps; link extraction and callbacks stay on the
-calling thread.
+The frontier is the continuously-fed scheduler of
+:mod:`repro.robot.frontier`: a priority queue ordered by (depth,
+discovery order) behind a request-fingerprint dupefilter, with per-host
+downloader slots enforcing politeness (max in-flight per host plus a
+minimum delay between fetch starts).  With
+``TraversalPolicy.concurrency > 1`` worker threads pull the next
+eligible request the moment they finish the previous one -- there are
+no wave barriers, so a slow host never idles the other hosts' workers.
+Link extraction and page callbacks always stay on the calling thread.
+
+Results are consumed in completion order, so the canonical outputs --
+the visited list returned by :meth:`Robot.crawl` and the poacher
+report -- are sorted by URL: a crawl's result is byte-identical at any
+worker count.  ``TraversalPolicy(frontier="wave")`` retains the old
+level-synchronous frontier as a benchmark comparator.
+
+``max_pages`` is an *admission* budget: the scheduler stops admitting
+fetches at the cap and never discards one it has issued, so the number
+of fetched pages is exact at any concurrency.
+
+With a :class:`~repro.robot.frontier.FrontierJournal` the frontier is
+resumable: every enqueue and completion is journaled to disk, and
+``crawl(..., resume=True)`` replays a killed crawl's journal -- pages
+already completed are restored from the HTTP cache's body store (and
+re-linted via the lint cache) instead of refetched.
 
 Fetch outcomes are classified, not collapsed: a URL that never produced
 an HTTP response (connection error, timeout, truncated transfer on every
@@ -40,13 +57,20 @@ from repro.obs.export import Ticker
 from repro.obs.metrics import get_registry
 from repro.obs.timeseries import TimeSeries, get_timeseries
 from repro.obs.trace import get_tracer
+from repro.robot.frontier import (
+    FrontierJournal,
+    FrontierScheduler,
+    ResumeState,
+    request_fingerprint,
+)
 from repro.site.links import extract_links
 from repro.www.client import (
     RETRYABLE_STATUSES,
     FetchError,
     UserAgent,
 )
-from repro.www.message import Response
+from repro.www.httpcache import body_digest
+from repro.www.message import Headers, Response
 from repro.www.robotstxt import RobotsTxt
 from repro.www.url import URL, urljoin, urlparse
 
@@ -65,12 +89,15 @@ class TraversalPolicy:
     #: Extra fetch attempts per URL on transport errors and transient
     #: HTTP errors (5xx/429).  Deterministic 4xx are never re-fetched.
     max_retries: int = 0
-    #: Frontier worker threads; 1 = the classic sequential crawl.
+    #: Frontier worker threads; 1 drives the same scheduler inline.
     concurrency: int = 1
-    #: Politeness: minimum seconds between fetches to the same host.
+    #: Politeness: minimum seconds between fetch starts to the same host.
     per_host_delay_s: float = 0.0
     #: At most this many requests in flight against one host.
     max_in_flight_per_host: int = 4
+    #: ``"streaming"`` (the scheduler) or ``"wave"`` (the legacy
+    #: level-synchronous frontier, kept as a benchmark comparator).
+    frontier: str = "streaming"
 
 
 #: How many of the slowest fetches :class:`CrawlStats` keeps per crawl.
@@ -98,6 +125,9 @@ class CrawlStats:
     failed_urls: dict[str, str] = field(default_factory=dict)
     #: HTTP-failed URL -> final status code.
     http_error_urls: dict[str, int] = field(default_factory=dict)
+    #: host -> {fetches, max_in_flight, wait_ms} from the scheduler's
+    #: downloader slots, filled in when a streaming crawl ends.
+    host_slots: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def note_latency(self, url: str, latency_ms: float) -> None:
         """Fold one fetch's latency into the bounded slowest-N heap."""
@@ -115,7 +145,12 @@ class CrawlStats:
 
 
 class _HostThrottle:
-    """Per-host politeness: an in-flight cap plus a minimum fetch gap."""
+    """Per-host politeness for the legacy wave frontier only.
+
+    The streaming scheduler replaces this with
+    :class:`repro.robot.frontier.HostSlot`, which parks ineligible
+    requests instead of blocking a worker thread.
+    """
 
     __slots__ = ("_slots", "_lock", "_delay", "_next_ok")
 
@@ -143,6 +178,34 @@ class _HostThrottle:
         self._slots.release()
 
 
+class _WaveFrontier:
+    """Queue + dupefilter adapter for the legacy wave driver.
+
+    Gives the wave path the same ``mark_seen``/``push`` surface as the
+    scheduler so both share :meth:`Robot._consume`.
+    """
+
+    __slots__ = ("queue", "_seen", "_next_seq")
+
+    def __init__(self) -> None:
+        self.queue: deque[tuple[str, int]] = deque()
+        self._seen: set[str] = set()
+        self._next_seq = 0
+
+    def mark_seen(self, url: str) -> bool:
+        fingerprint = request_fingerprint(url)
+        if fingerprint in self._seen:
+            return False
+        self._seen.add(fingerprint)
+        return True
+
+    def push(self, url: str, depth: int) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        self.queue.append((url, depth))
+        return seq
+
+
 class CrawlProgress:
     """The ``--progress`` view: one live line summarizing the crawl.
 
@@ -150,11 +213,12 @@ class CrawlProgress:
     registry into a windowed :class:`~repro.obs.timeseries.TimeSeries`
     every ``interval_s`` and rewrites one carriage-returned status line:
     pages done / in flight / failed, the rolling pages-per-second rate,
-    the cache-hit ratio and an ETA over what is still queued.
+    the cache-hit ratio, the busiest downloader slot and an ETA over
+    what is still queued.
 
     Rendering is a pure function of (robot state, registry, series,
     clock), so with an injected clock the line is byte-deterministic --
-    the golden tests in ``benchmarks/test_e18_telemetry.py`` hold that.
+    the golden tests in ``tests/test_telemetry.py`` hold that.
     """
 
     def __init__(
@@ -199,6 +263,12 @@ class CrawlProgress:
             "cache.lint.misses"
         )
         ratio = hits / (hits + misses) if hits + misses else 0.0
+        busiest = self.robot.busiest_slot()
+        slots = (
+            f"slots {busiest[0]}:{busiest[1]}/{busiest[2]} | "
+            if busiest is not None
+            else ""
+        )
         remaining = queued + in_flight
         if not remaining:
             eta = "0s"
@@ -208,7 +278,8 @@ class CrawlProgress:
             eta = "?"
         return (
             f"crawl: {done} done, {in_flight} in flight, {failed} failed | "
-            f"{rate:.1f} pages/s | cache hits {ratio * 100:.0f}% | ETA {eta}"
+            f"{rate:.1f} pages/s | cache hits {ratio * 100:.0f}% | "
+            f"{slots}ETA {eta}"
         )
 
     def tick(self) -> None:
@@ -239,20 +310,23 @@ class CrawlProgress:
 
 
 class Robot:
-    """Breadth-first traversal engine."""
+    """Traversal engine over the streaming frontier scheduler."""
 
     def __init__(
         self,
         agent: UserAgent,
         policy: Optional[TraversalPolicy] = None,
+        journal: Optional[FrontierJournal] = None,
     ) -> None:
         self.agent = agent
         self.policy = policy if policy is not None else TraversalPolicy()
+        self.journal = journal
         self.stats = CrawlStats()
         self._robots_cache: dict[str, RobotsTxt] = {}
         self._stats_lock = threading.Lock()
         self._in_flight = 0
-        self._frontier: Optional[deque] = None
+        self._scheduler: Optional[FrontierScheduler] = None
+        self._wave_queue: Optional[deque] = None
 
     @property
     def in_flight(self) -> int:
@@ -262,8 +336,16 @@ class Robot:
     @property
     def frontier_size(self) -> int:
         """URLs queued and not yet admitted (0 outside a crawl)."""
-        frontier = self._frontier
-        return len(frontier) if frontier is not None else 0
+        scheduler = self._scheduler
+        if scheduler is not None:
+            return scheduler.queued
+        queue = self._wave_queue
+        return len(queue) if queue is not None else 0
+
+    def busiest_slot(self) -> Optional[tuple[str, int, int]]:
+        """``(host, busy, capacity)`` of the busiest downloader slot."""
+        scheduler = self._scheduler
+        return scheduler.busiest_slot() if scheduler is not None else None
 
     # -- robots.txt politeness ---------------------------------------------------
 
@@ -299,22 +381,46 @@ class Robot:
         start_url: str,
         on_page: Optional[PageCallback] = None,
         progress: Optional[CrawlProgress] = None,
+        resume: bool = False,
     ) -> list[str]:
-        """Breadth-first crawl from ``start_url``.
+        """Crawl from ``start_url``; returns the visited URLs sorted.
 
         ``on_page(url, response, links)`` is called for every
-        successfully fetched HTML page.  Returns the list of page URLs
-        visited, in crawl order -- the same order whether the frontier
-        runs sequentially or concurrently.  ``progress`` (a
-        :class:`CrawlProgress`) runs its live ticker for the duration
-        of the crawl; it never affects the crawl's result.
+        successfully fetched HTML page, in completion order.  The
+        returned list is the canonical (URL-sorted) set of visited
+        pages -- byte-identical at any ``concurrency``.  ``progress``
+        (a :class:`CrawlProgress`) runs its live ticker for the
+        duration of the crawl; it never affects the crawl's result.
+
+        With a journal, ``resume=True`` replays a previous crawl's
+        persisted frontier first: completed pages are restored from the
+        HTTP cache's body store (``on_page`` still runs for them) and
+        only the unfinished remainder is fetched.
         """
         start = urljoin(start_url, "")
-        frontier: deque[str] = deque([str(start.without_fragment())])
-        seen: set[str] = set(frontier)
+        start_str = str(start.without_fragment())
+        registry = get_registry()
         processed: set[str] = set()  # final URLs handed to on_page
         visited: list[str] = []
-        self._frontier = frontier
+
+        if self.policy.frontier == "wave":
+            return self._crawl_wave(
+                start_url, start, start_str, processed, visited,
+                on_page, progress,
+            )
+
+        scheduler = FrontierScheduler(
+            max_pages=self.policy.max_pages,
+            per_host_delay_s=self.policy.per_host_delay_s,
+            max_in_flight_per_host=self.policy.max_in_flight_per_host,
+        )
+        self._scheduler = scheduler
+        restored: Optional[ResumeState] = None
+        if self.journal is not None:
+            if resume:
+                restored = self.journal.resume(start_str)
+            if restored is None:
+                self.journal.start(start_str)
 
         if progress is not None:
             progress.start()
@@ -322,14 +428,63 @@ class Robot:
             with get_tracer().span(
                 "robot.crawl", start=start_url, workers=self.policy.concurrency
             ) as crawl_span:
+                registry.gauge_max(
+                    "robot.frontier.workers", self.policy.concurrency
+                )
+                if restored is not None:
+                    self._restore(
+                        restored, scheduler, start, processed, visited, on_page
+                    )
+                if scheduler.mark_seen(start_str) and self._admit(
+                    start_str, start
+                ):
+                    seq = scheduler.push(start_str, 0)
+                    if self.journal is not None:
+                        self.journal.enqueued(start_str, 0, seq)
                 if self.policy.concurrency > 1:
-                    self._crawl_concurrent(
-                        start, frontier, seen, processed, visited, on_page
+                    self._drive_threaded(
+                        scheduler, start, processed, visited, on_page
                     )
                 else:
-                    self._crawl_sequential(
-                        start, frontier, seen, processed, visited, on_page
+                    self._drive_inline(
+                        scheduler, start, processed, visited, on_page
                     )
+                crawl_span.annotate(
+                    pages=self.stats.pages_fetched,
+                    http_errors=self.stats.pages_http_error,
+                    transport_failures=self.stats.pages_failed,
+                )
+        finally:
+            scheduler.close()
+            self.stats.host_slots = scheduler.host_stats()
+            if self.journal is not None:
+                self.journal.checkpoint()
+                self.journal.close()
+            if progress is not None:
+                progress.stop()
+            self._scheduler = None
+        visited.sort()
+        return visited
+
+    def _crawl_wave(
+        self, start_url, start, start_str, processed, visited,
+        on_page, progress,
+    ) -> list[str]:
+        """The legacy level-synchronous frontier (benchmark comparator)."""
+        frontier = _WaveFrontier()
+        frontier.mark_seen(start_str)
+        frontier.push(start_str, 0)
+        self._wave_queue = frontier.queue
+        if progress is not None:
+            progress.start()
+        try:
+            with get_tracer().span(
+                "robot.crawl", start=start_url, workers=self.policy.concurrency
+            ) as crawl_span:
+                get_registry().gauge_max(
+                    "robot.frontier.workers", self.policy.concurrency
+                )
+                self._drive_wave(frontier, start, processed, visited, on_page)
                 crawl_span.annotate(
                     pages=self.stats.pages_fetched,
                     http_errors=self.stats.pages_http_error,
@@ -338,31 +493,88 @@ class Robot:
         finally:
             if progress is not None:
                 progress.stop()
-            self._frontier = None
+            self._wave_queue = None
+        visited.sort()
         return visited
 
-    def _crawl_sequential(
-        self, start, frontier, seen, processed, visited, on_page
-    ) -> None:
-        while frontier and self.stats.pages_fetched < self.policy.max_pages:
-            url = frontier.popleft()
-            if not self._admit(url, start):
-                continue
-            response = self._fetch(url)
-            self._consume(
-                url, response, frontier, seen, processed, visited, on_page
-            )
+    # -- drivers ------------------------------------------------------------
 
-    def _crawl_concurrent(
-        self, start, frontier, seen, processed, visited, on_page
+    def _drive_inline(
+        self, scheduler, start, processed, visited, on_page
+    ) -> None:
+        """One thread does everything: pop, fetch, consume, repeat."""
+        while True:
+            request = scheduler.next_request()
+            if request is None:
+                break
+            response = self._fetch(request.url)
+            scheduler.offer(request, response)
+            item = scheduler.next_result()
+            if item is None:  # pragma: no cover - offer guarantees one
+                break
+            request, response = item
+            try:
+                self._consume(
+                    request.url, request.depth, response, scheduler,
+                    start, processed, visited, on_page,
+                )
+            finally:
+                scheduler.mark_done(request)
+
+    def _drive_threaded(
+        self, scheduler, start, processed, visited, on_page
+    ) -> None:
+        """Workers fetch continuously; this thread consumes results.
+
+        Consumption (link extraction, callbacks, enqueueing) stays on
+        the calling thread, so ``on_page`` is never entered
+        concurrently.
+        """
+
+        def worker() -> None:
+            while True:
+                request = scheduler.next_request()
+                if request is None:
+                    return
+                response = None
+                try:
+                    response = self._fetch(request.url)
+                finally:
+                    scheduler.offer(request, response)
+
+        with ThreadPoolExecutor(
+            max_workers=self.policy.concurrency,
+            thread_name_prefix="frontier",
+        ) as pool:
+            futures = [
+                pool.submit(worker) for _ in range(self.policy.concurrency)
+            ]
+            try:
+                while True:
+                    item = scheduler.next_result()
+                    if item is None:
+                        break
+                    request, response = item
+                    try:
+                        self._consume(
+                            request.url, request.depth, response, scheduler,
+                            start, processed, visited, on_page,
+                        )
+                    finally:
+                        scheduler.mark_done(request)
+            finally:
+                scheduler.close()  # wake any parked workers so join ends
+        for future in futures:
+            future.result()  # surface unexpected worker crashes
+
+    def _drive_wave(
+        self, frontier, start, processed, visited, on_page
     ) -> None:
         """Level-synchronous BFS: fetch each wave in parallel, fold in order.
 
-        Equivalent to the sequential crawl except for wall-clock: admit
-        checks happen when a wave is formed (so the robots/offsite skip
-        counters can run ahead of a ``max_pages`` cutoff) and a cutoff
-        mid-wave discards already-issued fetches instead of never
-        issuing them.
+        Kept only as the ``frontier="wave"`` comparator: every wave
+        barriers on its slowest fetch, and a ``max_pages`` cutoff
+        mid-wave discards already-issued fetches.
         """
         registry = get_registry()
         tracer = get_tracer()
@@ -381,36 +593,104 @@ class Robot:
             with throttle:
                 return self._fetch(url)
 
-        registry.gauge_max("robot.frontier.workers", self.policy.concurrency)
         with ThreadPoolExecutor(
             max_workers=self.policy.concurrency,
             thread_name_prefix="frontier",
         ) as pool:
-            while frontier and self.stats.pages_fetched < self.policy.max_pages:
+            while frontier.queue and (
+                self.stats.pages_fetched < self.policy.max_pages
+            ):
                 wave = []
-                while frontier:
-                    url = frontier.popleft()
+                while frontier.queue:
+                    url, depth = frontier.queue.popleft()
                     if self._admit(url, start):
-                        wave.append(url)
+                        wave.append((url, depth))
                 if not wave:
                     break
                 registry.inc("robot.frontier.waves")
                 registry.gauge_max("robot.frontier.wave_size", len(wave))
                 with tracer.span("robot.frontier.wave", urls=len(wave)):
-                    futures = [pool.submit(fetch_one, url) for url in wave]
-                    for url, future in zip(wave, futures):
+                    futures = [
+                        pool.submit(fetch_one, url) for url, _ in wave
+                    ]
+                    for (url, depth), future in zip(wave, futures):
                         response = future.result()
                         if self.stats.pages_fetched >= self.policy.max_pages:
                             continue  # cutoff: drain remaining futures
                         self._consume(
-                            url, response, frontier, seen, processed,
-                            visited, on_page,
+                            url, depth, response, frontier, start,
+                            processed, visited, on_page,
                         )
+
+    # -- resume -------------------------------------------------------------
+
+    def _restore(
+        self, state, scheduler, start, processed, visited, on_page
+    ) -> None:
+        """Replay a journal: restore completed pages, requeue the rest.
+
+        Completed page bodies come from the HTTP cache's
+        content-addressed store; a page whose body was evicted is
+        requeued for a real fetch (counted in
+        ``robot.frontier.resume_refetched``).
+        """
+        registry = get_registry()
+        cache = getattr(self.agent, "http_cache", None)
+        # Seed the dupefilter first so replayed links are not re-queued
+        # on top of the restored pending entries.
+        scheduler.restore(state.seen, state.next_seq)
+        refetch: list[tuple[int, str]] = []
+        restored = 0
+        for record in state.outcomes:
+            kind = record.get("t")
+            url = str(record.get("url", ""))
+            if kind == "ok":
+                body = None
+                digest = record.get("sha")
+                if cache is not None and digest:
+                    body = cache.body_by_digest(digest)
+                if body is None:
+                    refetch.append((int(record.get("d", 0)), url))
+                    registry.inc("robot.frontier.resume_refetched")
+                    continue
+                response = Response(
+                    status=200,
+                    url=str(record.get("final", url)),
+                    body=body,
+                    headers=Headers(
+                        {"Content-Type": str(record.get("ct", "text/html"))}
+                    ),
+                )
+                self._consume(
+                    url, int(record.get("d", 0)), response, scheduler,
+                    start, processed, visited, on_page, live=False,
+                )
+                registry.inc("robot.frontier.resumed_pages")
+                restored += 1
+            elif kind == "err":
+                self.stats.pages_http_error += 1
+                self.stats.http_error_urls[url] = int(record.get("status", 0))
+                registry.inc("robot.fetch.http_errors")
+                restored += 1
+            elif kind == "fail":
+                self.stats.pages_failed += 1
+                self.stats.failed_urls[url] = str(record.get("error", ""))
+                registry.inc("robot.fetch.failures")
+                restored += 1
+            elif kind == "dup":
+                restored += 1
+        scheduler.set_budget_used(restored)
+        for depth, seq, url in state.pending:
+            scheduler.push(url, depth, seq=seq)
+        for depth, url in refetch:
+            seq = scheduler.push(url, depth)
+            if self.journal is not None:
+                self.journal.enqueued(url, depth, seq)
 
     # -- shared crawl steps ------------------------------------------------------
 
     def _admit(self, url: str, start: URL) -> bool:
-        """Offsite and robots.txt filtering (main thread only)."""
+        """Offsite and robots.txt filtering (consumer thread only)."""
         parsed = urlparse(url)
         if self.policy.same_host_only and not parsed.same_host(start):
             self.stats.urls_skipped_offsite += 1
@@ -420,10 +700,27 @@ class Robot:
             return False
         return True
 
+    def _offer(self, url: str, depth: int, frontier, start: URL) -> None:
+        """Run one discovered link through dupefilter + admission."""
+        if not frontier.mark_seen(url):
+            return
+        if not self._admit(url, start):
+            return
+        seq = frontier.push(url, depth)
+        if self.journal is not None:
+            self.journal.enqueued(url, depth, seq)
+
     def _consume(
-        self, url, response, frontier, seen, processed, visited, on_page
+        self, url, depth, response, frontier, start, processed, visited,
+        on_page, live=True,
     ) -> None:
-        """Fold one fetch outcome into the crawl (main thread only)."""
+        """Fold one fetch outcome into the crawl (consumer thread only).
+
+        ``live=False`` is the journal-replay path: stats, metrics,
+        the visited list and ``on_page`` are all restored, but nothing
+        is re-journaled and no time-series samples or events are
+        emitted for work this run did not do.
+        """
         registry = get_registry()
         if response is None:
             self.stats.pages_failed += 1
@@ -432,6 +729,11 @@ class Robot:
                 "robot.fetch_failed", level="warn", url=url,
                 error=self.stats.failed_urls.get(url, ""),
             )
+            if live and self.journal is not None:
+                self.journal.completed({
+                    "t": "fail", "url": url,
+                    "error": self.stats.failed_urls.get(url, ""),
+                })
             return
         if not response.ok:
             self.stats.pages_http_error += 1
@@ -441,23 +743,33 @@ class Robot:
                 "robot.http_error", level="warn", url=url,
                 status=response.status,
             )
+            if live and self.journal is not None:
+                self.journal.completed(
+                    {"t": "err", "url": url, "status": response.status}
+                )
             return
 
         if response.url in processed:
             # A redirect landed on a page already handled (or a page
             # both linked directly and reached via redirect earlier).
+            if live and self.journal is not None:
+                self.journal.completed({"t": "dup", "url": url})
             return
         processed.add(response.url)
-        seen.add(response.url)
+        # The final URL after redirects must never be queued again.
+        frontier.mark_seen(response.url)
         self.stats.pages_fetched += 1
         self.stats.bytes_fetched += len(response.body)
         registry.inc("robot.pages.fetched")
         registry.inc("robot.fetch.bytes", len(response.body))
-        series = get_timeseries()
-        if series is not None:
-            series.observe("robot.pages.fetched")
+        if live:
+            series = get_timeseries()
+            if series is not None:
+                series.observe("robot.pages.fetched")
         visited.append(response.url)
         if not response.is_html:
+            if live and self.journal is not None:
+                self.journal.completed(self._ok_record(url, depth, response))
             return
 
         links = extract_links(response.body)
@@ -472,9 +784,22 @@ class Robot:
             absolute = str(
                 urljoin(response.url, link.url).without_fragment()
             )
-            if absolute not in seen:
-                seen.add(absolute)
-                frontier.append(absolute)
+            self._offer(absolute, depth + 1, frontier, start)
+        if live and self.journal is not None:
+            self.journal.completed(self._ok_record(url, depth, response))
+
+    @staticmethod
+    def _ok_record(url: str, depth: int, response: Response) -> dict:
+        return {
+            "t": "ok",
+            "url": url,
+            "final": response.url,
+            "d": depth,
+            "sha": body_digest(response.body),
+            "ct": response.headers.get("Content-Type", "text/html"),
+            "n": len(response.body),
+            "html": response.is_html,
+        }
 
     def _fetch(self, url: str):
         """One URL, with up to ``policy.max_retries`` re-attempts.

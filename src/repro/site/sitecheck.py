@@ -25,7 +25,7 @@ from typing import Optional, Union
 from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint
-from repro.core.service import LintRequest, LintService, PathSource
+from repro.core.service import LintRequest, LintService, PathSource, StringSource
 from repro.site.links import Link, extract_anchor_names, extract_links
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
@@ -142,6 +142,45 @@ class SiteChecker:
                 self._check_external_links(report, page_links)
                 self._check_orphans(root, report, page_links)
         registry.observe("site.check_ms", (time.perf_counter() - start) * 1000.0)
+        return report
+
+    def check_pages(self, pages, root: str = "stream") -> SiteReport:
+        """Streaming site check over an iterable of ``(name, text)`` pairs.
+
+        The streamed counterpart of :meth:`check_directory`, for pages
+        that arrive one at a time -- e.g. fed out of a crawl frontier
+        as each fetch completes.  Each page is linted the moment it
+        arrives, so memory holds one page body at a time plus the link
+        graph; the site-level analyses that need the complete page set
+        (``bad-link``, ``bad-fragment``, ``orphan-page``) run once the
+        stream ends.  Link targets resolve against the page *names*
+        (no filesystem), so the same report comes out whether the pages
+        were walked from disk or streamed from a crawl.
+        """
+        report = SiteReport(root=str(root))
+        registry = get_registry()
+        tracer = get_tracer()
+        start = time.perf_counter()
+        page_links: dict[str, list[Link]] = {}
+        page_anchors: dict[str, set[str]] = {}
+        with tracer.span("site.check_stream", root=str(root)):
+            for name, text in pages:
+                result = self.service.check(StringSource(text, name=name))
+                if result.error is not None:
+                    report.page_errors.append(result.error)
+                    continue
+                report.pages.append(name)
+                report.page_diagnostics[name] = result.diagnostics
+                registry.inc("site.files.checked")
+                page_links[name] = extract_links(text)
+                page_anchors[name] = extract_anchor_names(text)
+            report.pages.sort()
+            with tracer.span("site.analyses", pages=len(report.pages)):
+                self._check_streamed_links(report, page_links, page_anchors)
+                self._check_streamed_orphans(report, page_links)
+        registry.observe(
+            "site.check_ms", (time.perf_counter() - start) * 1000.0
+        )
         return report
 
     # -- site-level checks ----------------------------------------------------------
@@ -297,6 +336,92 @@ class SiteChecker:
                 fragment=fragment,
             )
 
+    def _check_streamed_links(
+        self,
+        report: SiteReport,
+        page_links: dict[str, list[Link]],
+        page_anchors: dict[str, set[str]],
+    ) -> None:
+        """bad-link / bad-fragment against the streamed page set."""
+        if not self.options.follow_links:
+            return
+        known = set(report.pages)
+        for page in report.pages:
+            for link in page_links.get(page, []):
+                if link.scheme:
+                    continue  # external links are the robot's job
+                target_text, _, fragment = link.url.partition("#")
+                if not target_text:
+                    if fragment and fragment not in page_anchors.get(
+                        page, set()
+                    ):
+                        self._emit(
+                            report,
+                            "bad-fragment",
+                            filename=page,
+                            line=link.line,
+                            attach_to=page,
+                            target="this page",
+                            fragment=fragment,
+                        )
+                    continue
+                target = _resolve_streamed_target(page, target_text)
+                if target not in known:
+                    self._emit(
+                        report,
+                        "bad-link",
+                        filename=page,
+                        line=link.line,
+                        attach_to=page,
+                        target=link.url,
+                        status="page not found",
+                    )
+                elif fragment and fragment not in page_anchors.get(
+                    target, set()
+                ):
+                    self._emit(
+                        report,
+                        "bad-fragment",
+                        filename=page,
+                        line=link.line,
+                        attach_to=page,
+                        target=link.url.split("#", 1)[0] or "this page",
+                        fragment=fragment,
+                    )
+
+    def _check_streamed_orphans(
+        self,
+        report: SiteReport,
+        page_links: dict[str, list[Link]],
+    ) -> None:
+        edges: list[tuple[str, str]] = []
+        known = set(report.pages)
+        for page in report.pages:
+            for link in page_links.get(page, []):
+                if link.scheme or link.is_fragment_only:
+                    continue
+                target_text = link.url.split("#", 1)[0].split("?", 1)[0]
+                if not target_text:
+                    continue
+                target = _resolve_streamed_target(page, target_text)
+                if target in known:
+                    edges.append((page, target))
+                    report.link_graph.append((page, target))
+        incoming = build_incoming_counts(edges)
+        roots = [
+            page
+            for page in report.pages
+            if page.rsplit("/", 1)[-1] in self.options.index_filenames
+        ]
+        for orphan in find_orphans(report.pages, incoming, roots=roots):
+            self._emit(
+                report,
+                "orphan-page",
+                filename=orphan,
+                attach_to=orphan,
+                page=orphan,
+            )
+
     def _check_orphans(
         self,
         root: Path,
@@ -348,3 +473,22 @@ class SiteChecker:
 
 def _relative_name(path: Path, root: Path) -> str:
     return str(path.relative_to(root)).replace("\\", "/")
+
+
+def _resolve_streamed_target(page: str, target: str) -> str:
+    """Resolve ``target`` against page name ``page``, filesystem-free."""
+    if target.startswith("/"):
+        combined = target.lstrip("/")
+    else:
+        base = page.rsplit("/", 1)[0] if "/" in page else ""
+        combined = f"{base}/{target}" if base else target
+    parts: list[str] = []
+    for piece in combined.split("/"):
+        if piece in ("", "."):
+            continue
+        if piece == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(piece)
+    return "/".join(parts)

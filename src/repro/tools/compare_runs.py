@@ -59,6 +59,11 @@ PORTABLE_DIRECTIONS = {
     "revalidated": "higher",
     "warm_lint_hits": "higher",
     "warm_revalidated": "higher",
+    # A resumed crawl may only restore more pages from the journal,
+    # never refetch completed ones: against a zero-refetch baseline any
+    # rise in refetched_pages fails the interrupted-crawl CI gate.
+    "resumed_pages": "higher",
+    "refetched_pages": "lower",
 }
 
 

@@ -133,6 +133,32 @@ class HttpCache:
             self._bodies[entry.body_sha256] = body
         return body
 
+    def body_by_digest(self, digest: str) -> Optional[str]:
+        """The stored body for ``digest`` directly, bypassing the index.
+
+        Bodies persist synchronously at :meth:`store` time while the
+        index only persists on :meth:`save`, so a crawl killed before
+        any save can still recover every completed page's bytes -- the
+        frontier journal's resume path leans on exactly that.
+        """
+        with self._lock:
+            body = self._bodies.get(digest)
+        if body is not None:
+            return body
+        if self.directory is None:
+            return None
+        try:
+            body = self._body_path(digest).read_text(
+                encoding="utf-8", errors="surrogatepass"
+            )
+        except OSError:
+            return None
+        if body_digest(body) != digest:
+            return None
+        with self._lock:
+            self._bodies[digest] = body
+        return body
+
     # -- population --------------------------------------------------------
 
     def store(self, url: str, response: Response) -> None:

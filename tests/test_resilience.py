@@ -400,9 +400,15 @@ class TestConcurrentFrontier:
             Robot(
                 UserAgent(web), TraversalPolicy(concurrency=2)
             ).crawl("http://h/index.html")
-            assert registry.value("robot.frontier.waves") >= 2
+            assert registry.value("robot.frontier.admitted") == 3
             snap = registry.snapshot()
             assert snap["robot.frontier.workers"]["max"] == 2
+            # The queue drained: its gauge peaked while pages were
+            # discovered and sits at zero now.
+            assert snap["robot.frontier.queue_depth"]["value"] == 0
+            assert snap["robot.frontier.queue_depth"]["max"] >= 1
+            assert snap["robot.frontier.slots_busy"]["value"] == 0
+            assert snap["robot.frontier.slots_busy.h"]["max"] >= 1
 
     def test_politeness_delay_spaces_same_host_fetches(self):
         web = VirtualWeb(sleep=no_sleep)

@@ -209,7 +209,7 @@ class TestRenderOpenMetrics:
     def test_golden_exposition(self):
         registry = MetricsRegistry()
         registry.inc("lint.files", 3)
-        registry.gauge_max("robot.frontier.wave_size", 7)
+        registry.gauge_max("robot.frontier.queue_depth", 7)
         histogram = registry.histogram("lint.check_ms", buckets=(1, 5, 10))
         for value in (0.5, 4.0, 6.0, 42.0):
             histogram.observe(value)
@@ -223,9 +223,9 @@ class TestRenderOpenMetrics:
             "lint_check_ms_count 4\n"
             "# TYPE lint_files counter\n"
             "lint_files_total 3\n"
-            "# TYPE robot_frontier_wave_size gauge\n"
-            "robot_frontier_wave_size 7\n"
-            "robot_frontier_wave_size_max 7\n"
+            "# TYPE robot_frontier_queue_depth gauge\n"
+            "robot_frontier_queue_depth 7\n"
+            "robot_frontier_queue_depth_max 7\n"
             "# EOF\n"
         )
 
@@ -531,9 +531,18 @@ class TestAdversarialMerges:
 # Live crawl progress
 
 
-def _progress_fixture(clock: FakeClock):
-    from collections import deque
+class _FakeScheduler:
+    """Just enough scheduler surface for render_line: queue + slots."""
 
+    def __init__(self, queued, busiest=None):
+        self.queued = queued
+        self._busiest = busiest
+
+    def busiest_slot(self):
+        return self._busiest
+
+
+def _progress_fixture(clock: FakeClock):
     from repro.robot.traversal import CrawlProgress, Robot
     from repro.www.client import UserAgent
     from repro.www.virtualweb import VirtualWeb
@@ -547,7 +556,7 @@ def _progress_fixture(clock: FakeClock):
     robot.stats.pages_failed = 1
     robot.stats.pages_http_error = 1
     robot._in_flight = 3
-    robot._frontier = deque(["u"] * 21)
+    robot._scheduler = _FakeScheduler(21, busiest=("h", 2, 4))
     return robot, progress
 
 
@@ -564,14 +573,14 @@ class TestCrawlProgress:
             line = progress.render_line(t=109.0)
         assert line == (
             "crawl: 12 done, 3 in flight, 2 failed | 2.0 pages/s | "
-            "cache hits 75% | ETA 12s"
+            "cache hits 75% | slots h:2/4 | ETA 12s"
         )
 
     def test_render_line_idle_and_empty(self):
         clock = FakeClock(100.0)
         robot, progress = _progress_fixture(clock)
         with use_registry():
-            robot._frontier = None
+            robot._scheduler = None
             robot._in_flight = 0
             assert progress.render_line(t=100.0) == (
                 "crawl: 12 done, 0 in flight, 2 failed | 0.0 pages/s | "
