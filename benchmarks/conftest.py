@@ -122,6 +122,22 @@ def record_dispatch_result(name: str, **values: object) -> None:
     _DISPATCH_RESULTS[name] = dict(values)
 
 
+#: Results the streaming-report benchmark (E19) records for
+#: BENCH_stream.json.
+_STREAM_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_stream_result(name: str, **values: object) -> None:
+    """Record one buffered-vs-streaming report measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_stream.json``
+    carries only the memory-bounded-report numbers (traced-heap
+    high-water and wall clock for each regime at each site size, and
+    the 10x growth ratio CI gates on).
+    """
+    _STREAM_RESULTS[name] = dict(values)
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
     """Emit ``BENCH_obs.json`` so every benchmark run leaves a snapshot.
 
@@ -197,6 +213,17 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         try:
             (root / "BENCH_telemetry.json").write_text(
                 json.dumps(telemetry_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+    if _STREAM_RESULTS:
+        stream_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _STREAM_RESULTS,
+        }
+        try:
+            (root / "BENCH_stream.json").write_text(
+                json.dumps(stream_payload, indent=2, sort_keys=True) + "\n"
             )
         except OSError:  # pragma: no cover - read-only checkout
             pass

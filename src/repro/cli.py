@@ -423,6 +423,30 @@ def _check_paths(args, options, service: LintService, reporter, out, err) -> int
 
     # One batch for every plain document in the run.
     requests = [item for kind, item in items if kind == "lint"]
+
+    # Streaming reporters (jsonl) emit each document the moment its
+    # result resolves -- completion order, bounded memory.  Only the
+    # pure-document case streams; site checks fall back to the buffered
+    # loop so their framing stays intact.
+    if getattr(reporter, "streams_incrementally", False) and all(
+        kind == "lint" for kind, _ in items
+    ):
+        reporter.begin(out)
+        total = 0
+        failures = []
+        for result in service.iter_check(requests, jobs=args.jobs):
+            reporter.emit(result)
+            if result.error is not None:
+                failures.append(result.error)
+                continue
+            total += len(result.diagnostics)
+        reporter.end()
+        for failure in failures:
+            err.write(f"weblint: {failure}\n")
+        if failures:
+            return constants.EXIT_USAGE
+        return constants.EXIT_WARNINGS if total else constants.EXIT_CLEAN
+
     checked = iter(service.check_many(requests, jobs=args.jobs))
 
     total = 0
@@ -515,4 +539,14 @@ def _write_trace(tracer, destination: str, err) -> bool:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Streamed output piped into head/jq and the reader went away:
+        # die quietly with the conventional SIGPIPE status, and point
+        # stdout at devnull so the interpreter's exit-time flush does
+        # not raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 128 + 13
+    raise SystemExit(code)

@@ -14,6 +14,15 @@ Formats:
 - :class:`VerboseReporter` -- message id, category and help text.
 - :class:`HTMLReporter` -- the gateway subclass: warnings as an HTML list.
 - :class:`JSONReporter` -- machine-readable, for robots and CI.
+- :class:`JsonlReporter` -- one JSON object per document, written the
+  moment the document resolves (the streaming pipeline's native format).
+
+Beyond the classic "render a list" contract, every reporter speaks an
+incremental one -- ``begin(stream)`` / ``emit(result)`` / ``end()`` --
+fed by ``LintService.iter_check``'s completion-order stream, so output
+starts the moment the first document is linted and no reporter needs
+the whole batch in memory (batch formats like JSON still buffer, by
+design: their output is one document per run).
 """
 
 from __future__ import annotations
@@ -54,8 +63,16 @@ class Reporter:
     #: multi-path run emits a single parseable document.
     batch_output = False
 
+    #: True for reporters that write one self-contained record per
+    #: document as :meth:`emit` is called.  The CLI feeds these from
+    #: ``LintService.iter_check`` in completion order instead of
+    #: buffering the whole batch.
+    streams_incrementally = False
+
     def __init__(self) -> None:
         self._counts: dict[str, int] = {"total": 0}
+        self._stream: Optional[IO[str]] = None
+        self._pending: list[Diagnostic] = []
 
     def format(self, diagnostic: Diagnostic) -> str:
         raise NotImplementedError
@@ -103,6 +120,40 @@ class Reporter:
         if stream is not None and text:
             stream.write(text + "\n")
         return text
+
+    # -- the incremental contract -------------------------------------
+
+    def begin(self, stream: Optional[IO[str]] = None) -> "Reporter":
+        """Start an incremental report writing to ``stream``."""
+        self._stream = stream
+        self._pending = []
+        return self
+
+    def emit(self, result) -> None:
+        """Fold one resolved document into the report.
+
+        ``result`` is anything shaped like a ``LintResult`` (``name``,
+        ``diagnostics`` and optionally ``error`` attributes).  The
+        default keeps each format's framing: per-document reporters
+        render the document's diagnostics immediately (exactly what the
+        buffered CLI produced per path); ``batch_output`` reporters
+        accumulate and render once at :meth:`end`.  Unreadable
+        documents are skipped -- the caller owns error reporting.
+        """
+        if getattr(result, "error", None) is not None:
+            return
+        diagnostics = list(result.diagnostics)
+        if self.batch_output:
+            self._pending.extend(diagnostics)
+        else:
+            self.report(diagnostics, stream=self._stream)
+
+    def end(self) -> str:
+        """Finish an incremental report; returns any final rendering."""
+        if self.batch_output:
+            pending, self._pending = self._pending, []
+            return self.report(pending, stream=self._stream)
+        return ""
 
 
 class LintReporter(Reporter):
@@ -210,6 +261,87 @@ class JSONReporter(Reporter):
         return payload
 
 
+class JsonlReporter(Reporter):
+    """One JSON object per *document*, written the moment it resolves.
+
+    The streaming face of :class:`JSONReporter`: ``weblint -f jsonl``
+    and ``poacher --format jsonl`` write one line per page as the
+    pipeline completes it, so a site-scale audit can be tailed and
+    filtered while it runs, and the run never holds more than one
+    document's diagnostics.  Lines arrive in *completion* order; sort
+    by ``file`` for a canonical view.  Unreadable documents become
+    ``{"file": ..., "error": ...}`` records so the stream stays an
+    exact account of the batch.
+    """
+
+    name = "jsonl"
+    streams_incrementally = True
+
+    def format(self, diagnostic: Diagnostic) -> str:  # pragma: no cover
+        return json.dumps(self._as_item(diagnostic), sort_keys=True)
+
+    @staticmethod
+    def _as_item(diagnostic: Diagnostic) -> dict[str, object]:
+        return {
+            "id": diagnostic.message_id,
+            "category": diagnostic.category.value,
+            "line": diagnostic.line,
+            "column": diagnostic.column,
+            "message": diagnostic.text,
+        }
+
+    def _document(self, filename: str, items: list[Diagnostic]) -> str:
+        return json.dumps(
+            {
+                "file": filename,
+                "count": len(items),
+                "diagnostics": [self._as_item(d) for d in items],
+            },
+            sort_keys=True,
+        )
+
+    def _write(self, line: str) -> None:
+        if self._stream is None:
+            return
+        self._stream.write(line + "\n")
+        flush = getattr(self._stream, "flush", None)
+        if flush is not None:  # a tail -f consumer must see it now
+            try:
+                flush()
+            except OSError:  # pragma: no cover - closed pipe
+                pass
+
+    def emit(self, result) -> None:
+        error = getattr(result, "error", None)
+        if error is not None:
+            self._write(json.dumps(
+                {"file": result.name, "error": str(error)}, sort_keys=True
+            ))
+            return
+        diagnostics = list(result.diagnostics)
+        self._record(diagnostics)
+        self._write(self._document(result.name, diagnostics))
+
+    def report(
+        self,
+        diagnostics: Iterable[Diagnostic],
+        stream: Optional[IO[str]] = None,
+    ) -> str:
+        """The buffered contract: one line per distinct filename."""
+        items = list(diagnostics)
+        self._record(items)
+        by_file: dict[str, list[Diagnostic]] = {}
+        for diagnostic in items:
+            by_file.setdefault(diagnostic.filename, []).append(diagnostic)
+        text = "\n".join(
+            self._document(filename, group)
+            for filename, group in by_file.items()
+        )
+        if stream is not None and text:
+            stream.write(text + "\n")
+        return text
+
+
 class StatsReporter(Reporter):
     """Diagnostics summary plus the metrics-registry snapshot, as JSON.
 
@@ -249,6 +381,7 @@ _REPORTERS = {
         VerboseReporter,
         HTMLReporter,
         JSONReporter,
+        JsonlReporter,
         StatsReporter,
     )
 }

@@ -26,10 +26,17 @@ once:
   stay truthful.
 - :class:`ParallelExecutor` -- the ``jobs > 1`` path: chunked submission
   over a ``ProcessPoolExecutor`` whose per-worker initializer builds the
-  service (and compiles dispatch tables) once per worker.  Results come
-  back in input order, and each worker's metrics / tracer / profiler
-  snapshots are merged into the parent's, so ``--stats``, ``--trace``
-  and ``--profile`` stay truthful under parallelism.
+  service (and compiles dispatch tables) once per worker.  Each worker's
+  metrics / tracer / profiler snapshots are merged into the parent's, so
+  ``--stats``, ``--trace`` and ``--profile`` stay truthful under
+  parallelism.
+
+The pipeline is a generator end to end: ``iter_check`` yields each
+:class:`LintResult` the moment its worker finishes (completion order),
+with cache hits and source errors short-circuited inline, and
+``check_many`` is the buffered view over it (results re-ordered back to
+input order).  Streaming consumers -- the JSON-lines reporter, the site
+rollup -- never hold a whole batch in memory.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
@@ -454,25 +461,58 @@ class LintService:
             request if isinstance(request, LintRequest) else LintRequest(request)
             for request in requests
         ]
-        jobs = resolve_jobs(jobs)
-        if jobs <= 1 or len(batch) < 2 or not self.portable:
-            return [self.check(request) for request in batch]
-        if self.cache is not None:
-            return self._check_many_cached(batch, jobs)
-        executor = ParallelExecutor(self.specification(), jobs=jobs)
-        return executor.run(batch, fallback=self.check)
+        results: list[Optional[LintResult]] = [None] * len(batch)
+        for index, result in self._iter_indexed(batch, resolve_jobs(jobs)):
+            results[index] = result
+        return results  # type: ignore[return-value]
 
-    def _check_many_cached(self, batch: list[LintRequest], jobs: int) -> list[LintResult]:
+    def iter_check(
+        self,
+        requests: Iterable[Union[LintRequest, DocumentSource]],
+        jobs: int = 1,
+    ) -> "Iterator[LintResult]":
+        """Check a batch, yielding each result the moment it resolves.
+
+        The streaming face of :meth:`check_many`: results arrive in
+        *completion* order (cache hits and unreadable sources resolve
+        inline, parallel chunks as their workers finish), so a consumer
+        can report or roll up each document without the pipeline ever
+        holding the whole batch.  The set of results is identical to
+        ``check_many``'s; only the order differs.
+        """
+        batch = [
+            request if isinstance(request, LintRequest) else LintRequest(request)
+            for request in requests
+        ]
+        for _, result in self._iter_indexed(batch, resolve_jobs(jobs)):
+            yield result
+
+    def _iter_indexed(
+        self, batch: list[LintRequest], jobs: int
+    ) -> "Iterator[tuple[int, LintResult]]":
+        """Yield ``(input_index, result)`` pairs in completion order."""
+        if jobs <= 1 or len(batch) < 2 or not self.portable:
+            for index, request in enumerate(batch):
+                yield index, self.check(request)
+            return
+        if self.cache is not None:
+            yield from self._iter_indexed_cached(batch, jobs)
+            return
+        executor = ParallelExecutor(self.specification(), jobs=jobs)
+        yield from executor.iter_run(batch, fallback=self.check)
+
+    def _iter_indexed_cached(
+        self, batch: list[LintRequest], jobs: int
+    ) -> "Iterator[tuple[int, LintResult]]":
         """The parallel path when a result cache is attached.
 
         Worker processes cannot share the parent's cache tiers, so hits
         are resolved *here*, before fan-out: read each document, hash
         it, serve matching cached results directly.  Only the misses
         ship to the pool (as already-read strings -- one read total, as
-        ever), and their fresh results are stored on the way back.
+        ever), and their fresh results are stored as they stream back.
         """
         registry = get_registry()
-        results: list[Optional[LintResult]] = [None] * len(batch)
         misses: list[tuple[int, LintRequest, Optional[str]]] = []
         for index, request in enumerate(batch):
             source = request.source
@@ -480,7 +520,7 @@ class LintService:
                 text = source.text()
             except SourceError as exc:
                 registry.inc("lint.source_errors")
-                results[index] = LintResult(name=source.name, error=str(exc))
+                yield index, LintResult(name=source.name, error=str(exc))
                 continue
             key = self._cache_key(text)
             if key is not None:
@@ -491,7 +531,7 @@ class LintService:
                         registry.inc(
                             f"lint.diagnostics.{diagnostic.category.value}"
                         )
-                    results[index] = LintResult(
+                    yield index, LintResult(
                         name=source.name,
                         diagnostics=cached,
                         text=text if request.keep_text else None,
@@ -505,19 +545,22 @@ class LintService:
                 ),
                 key,
             ))
-        if misses:
-            if len(misses) == 1:
-                checked = [self.check(request) for _, request, _ in misses]
-            else:
-                executor = ParallelExecutor(self.specification(), jobs=jobs)
-                checked = executor.run(
-                    [request for _, request, _ in misses], fallback=self.check
-                )
-            for (index, _, key), result in zip(misses, checked):
-                results[index] = result
-                if key is not None and result is not None and result.ok:
-                    self.cache.put(key, result.diagnostics)
-        return results  # type: ignore[return-value]
+        if not misses:
+            return
+        if len(misses) == 1:
+            checked: Iterable[tuple[int, LintResult]] = (
+                (0, self.check(misses[0][1])),
+            )
+        else:
+            executor = ParallelExecutor(self.specification(), jobs=jobs)
+            checked = executor.iter_run(
+                [request for _, request, _ in misses], fallback=self.check
+            )
+        for miss_index, result in checked:
+            index, _, key = misses[miss_index]
+            if key is not None and result is not None and result.ok:
+                self.cache.put(key, result.diagnostics)
+            yield index, result
 
 
 # -- the process-pool executor ----------------------------------------------
@@ -599,7 +642,16 @@ class ParallelExecutor:
         fallback: Callable[[LintRequest], LintResult],
     ) -> list[LintResult]:
         results: list[Optional[LintResult]] = [None] * len(requests)
+        for index, result in self.iter_run(requests, fallback):
+            results[index] = result
+        return results  # type: ignore[return-value]
 
+    def iter_run(
+        self,
+        requests: list[LintRequest],
+        fallback: Callable[[LintRequest], LintResult],
+    ) -> Iterator[tuple[int, LintResult]]:
+        """Yield ``(input_index, result)`` as worker chunks complete."""
         # Materialise non-portable sources (stdin handles, URL sources
         # bound to a live agent) in the parent: read failures become
         # error results immediately, successes ship as strings.
@@ -611,7 +663,7 @@ class ParallelExecutor:
                     text = source.text()
                 except SourceError as exc:
                     get_registry().inc("lint.source_errors")
-                    results[index] = LintResult(name=source.name, error=str(exc))
+                    yield index, LintResult(name=source.name, error=str(exc))
                     continue
                 request = LintRequest(
                     StringSource(text, name=source.name),
@@ -619,7 +671,7 @@ class ParallelExecutor:
                 )
             portable.append((index, request))
         if not portable:
-            return results  # type: ignore[return-value]
+            return
 
         chunk_size = self.chunk_size or max(
             1, -(-len(portable) // (self.jobs * 4))
@@ -639,10 +691,11 @@ class ParallelExecutor:
             )
         except (OSError, ValueError):  # pragma: no cover - no multiprocessing
             for index, request in portable:
-                results[index] = fallback(request)
-            return results  # type: ignore[return-value]
+                yield index, fallback(request)
+            return
 
         registry = get_registry()
+        broken: list[int] = []
         with pool:
             futures = {
                 pool.submit(
@@ -653,7 +706,6 @@ class ParallelExecutor:
                 ): [index for index, _ in chunk]
                 for chunk in chunks
             }
-            broken: list[int] = []
             for future in as_completed(futures):
                 indices = futures[future]
                 try:
@@ -661,8 +713,6 @@ class ParallelExecutor:
                 except BrokenProcessPool:  # pragma: no cover - worker died
                     broken.extend(indices)
                     continue
-                for index, result in zip(indices, chunk_results):
-                    results[index] = result
                 registry.merge_snapshot(metrics)
                 if spans:
                     tracer = get_tracer()
@@ -672,9 +722,10 @@ class ParallelExecutor:
                     profiler = get_profiler()
                     if profiler is not None:
                         profiler.merge_snapshot(profile)
+                for index, result in zip(indices, chunk_results):
+                    yield index, result
         # Requests lost to a broken pool re-run sequentially, so a dying
         # worker degrades throughput, never correctness.
         request_at = dict(portable)
         for index in broken:  # pragma: no cover - worker died
-            results[index] = fallback(request_at[index])
-        return results  # type: ignore[return-value]
+            yield index, fallback(request_at[index])

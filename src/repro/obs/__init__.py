@@ -36,6 +36,7 @@ from repro.obs.events import (
 )
 from repro.obs.export import Ticker, TelemetrySink, render_openmetrics
 from repro.obs.ledger import RunLedger, record_run, summarize_run
+from repro.obs.memory import REPORT_MEMORY_GAUGE, MemorySampler
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
@@ -82,6 +83,8 @@ __all__ = [
     "Ticker",
     "TelemetrySink",
     "render_openmetrics",
+    "MemorySampler",
+    "REPORT_MEMORY_GAUGE",
     "RunLedger",
     "record_run",
     "summarize_run",

@@ -89,6 +89,14 @@ def summarize_run(
         #: the interrupted-crawl CI gate holds this at zero.
         "refetched_pages": count("robot.frontier.resume_refetched"),
     }
+    # The streaming-report memory gauge (present only when a
+    # MemorySampler ran); kilobytes keep the record readable and the
+    # compare_runs ratio meaningful.
+    memory = snapshot.get("report.memory.high_water_bytes")
+    if isinstance(memory, dict):
+        high_water = memory.get("max", memory.get("value", 0.0))
+        if isinstance(high_water, (int, float)) and high_water > 0:
+            record["report_high_water_kb"] = round(high_water / 1024.0, 1)
     if wall_s > 0:
         record["docs_per_s"] = round(documents / wall_s, 3)
         if pages:

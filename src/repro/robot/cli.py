@@ -28,11 +28,24 @@ writes ``DIR/metrics.jsonl`` + ``DIR/metrics.prom`` snapshots.  Every
 run with ``--state-dir`` or ``--telemetry-dir`` appends a summary to
 ``runs.jsonl`` for ``python -m repro.tools.compare_runs``.  See
 docs/observability.md.
+
+Streaming audits: ``--format jsonl`` emits one JSON object per page as
+it resolves (the weblint ``-f jsonl`` shape, keyed by URL) instead of
+the buffered summary, and ``--shards N --shard K`` runs the bounded
+streaming pipeline over the K-th of N URL partitions, writing
+``rollup.json`` + ``pages.jsonl`` + ``report.txt`` + ``metrics.json``
+under ``--state-dir``'s report directory.  Run every shard (they can
+share the state dir -- the caches make the overlap cheap), then fold
+the shard directories into one canonical report with ``python -m
+repro.tools.merge_shards STATE_DIR``.  See docs/architecture.md
+("Streaming reports").
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -40,8 +53,10 @@ from typing import Optional, Sequence
 
 from repro.config.options import Options
 from repro.core.cache import ResultCache
+from repro.core.reporter import JsonlReporter
 from repro.core.service import LintService
 from repro.obs import (
+    MemorySampler,
     TelemetrySink,
     TimeSeries,
     record_run,
@@ -53,6 +68,7 @@ from repro.obs.events import NULL_EVENT_LOG
 from repro.robot.frontier import FrontierJournal
 from repro.robot.poacher import Poacher
 from repro.robot.traversal import CrawlProgress, TraversalPolicy
+from repro.site.report import render_text_report
 from repro.www.client import CircuitBreaker, RetryPolicy, UserAgent
 from repro.www.httpcache import HttpCache
 from repro.www.virtualweb import VirtualWeb
@@ -182,6 +198,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream structured events to DIR/events.jsonl and write "
         "metric snapshots to DIR/metrics.jsonl and DIR/metrics.prom",
     )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("summary", "jsonl"),
+        default="summary",
+        help="report format: the buffered crawl summary (default) or "
+        "one JSON object per page streamed as each page resolves",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="streaming sharded audit: roll up only this process's "
+        "partition of the site's URLs, writing rollup.json and "
+        "pages.jsonl under --state-dir for repro.tools.merge_shards "
+        "(N=1 streams the whole site)",
+    )
+    parser.add_argument(
+        "--shard",
+        type=int,
+        default=0,
+        metavar="K",
+        help="which of the --shards partitions to audit (0-based)",
+    )
     return parser
 
 
@@ -190,6 +231,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and not args.state_dir:
         parser.error("--resume requires --state-dir")
+    if args.shards is not None:
+        if not args.state_dir:
+            parser.error("--shards requires --state-dir")
+        if args.shards < 1:
+            parser.error("--shards must be at least 1")
+        if not 0 <= args.shard < args.shards:
+            parser.error("--shard must be between 0 and --shards - 1")
 
     web = VirtualWeb()
     web.add_site("http://localhost/", args.site_dir)
@@ -229,6 +277,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obey_robots_txt=not args.ignore_robots,
         concurrency=max(1, args.frontier_jobs),
         per_host_delay_s=max(0.0, args.host_delay),
+        shards=args.shards or 1,
+        shard=args.shard if args.shards is not None else 0,
     )
     poacher = Poacher(
         agent,
@@ -246,6 +296,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             CrawlProgress(poacher.robot, sys.stderr)
             if args.progress else None
         )
+        if args.shards is not None or args.format == "jsonl":
+            return _run_stream(
+                args, poacher, http_cache, registry, sink, progress,
+                started, start_perf,
+            )
         report = poacher.crawl(
             args.start, progress=progress, resume=args.resume
         )
@@ -269,6 +324,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if sink is not None:
             sink.close(registry)
     return 1 if report.total_problems() else 0
+
+
+def _run_stream(
+    args, poacher, http_cache, registry, sink, progress, started, start_perf
+) -> int:
+    """The streaming audit: bounded rollup, optional shard partition.
+
+    Runs inside main()'s registry/event-log context.  The memory
+    sampler is only armed for sharded audits (``--shards``): that is
+    the site-scale path whose flat-memory claim the
+    ``report.memory.high_water_bytes`` gauge exists to prove, and
+    tracemalloc tracing is not free.
+    """
+    report_dir = None
+    if args.state_dir:
+        report_dir = Path(args.state_dir) / "report"
+        shards = args.shards or 1
+        if shards > 1:
+            report_dir = report_dir / f"shard-{args.shard}-of-{shards}"
+    sampler = MemorySampler().start() if args.shards is not None else None
+    reporter = None
+    on_result = None
+    if args.format == "jsonl":
+        reporter = JsonlReporter().begin(sys.stdout)
+        on_result = reporter.emit
+    rollup = poacher.crawl_stream(
+        args.start,
+        report_dir=report_dir,
+        progress=progress,
+        resume=args.resume,
+        on_result=on_result,
+    )
+    if http_cache is not None:
+        http_cache.save()
+    if reporter is not None:
+        reporter.end()
+    else:
+        sys.stdout.write(render_text_report(rollup) + "\n")
+    if args.stats:
+        _print_stats(registry, poacher.robot.stats, sys.stderr)
+    if sampler is not None:
+        sampler.stop()  # final sample lands before the snapshot below
+    wall_s = time.perf_counter() - start_perf
+    snapshot = registry.snapshot()
+    if report_dir is not None:
+        # crawl_stream saved rollup.json here already; report.txt and
+        # metrics.json complete the shard's mergeable report directory.
+        (report_dir / "report.txt").write_text(
+            render_text_report(rollup) + "\n", encoding="utf-8"
+        )
+        (report_dir / "metrics.json").write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    ledger_dir = args.state_dir or args.telemetry_dir
+    if ledger_dir:
+        record_run(
+            ledger_dir, snapshot, "poacher", wall_s, clock=lambda: started
+        )
+    if sink is not None:
+        sink.close(registry)
+    return 1 if rollup.total_messages else 0
 
 
 def _print_stats(registry, crawl_stats, stream) -> None:
@@ -303,4 +420,14 @@ def _print_stats(registry, crawl_stats, stream) -> None:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # --format jsonl piped into head/jq and the reader went away:
+        # die quietly with the conventional SIGPIPE status, and point
+        # stdout at devnull so the interpreter's exit-time flush does
+        # not raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 128 + 13
+    raise SystemExit(code)

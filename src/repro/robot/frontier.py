@@ -65,6 +65,20 @@ def request_fingerprint(url: str) -> str:
     return hashlib.sha256(canonical.encode("utf-8", "surrogatepass")).hexdigest()
 
 
+def shard_owns(url: str, shards: int, shard: int) -> bool:
+    """Does ``shard`` (of ``shards``) own ``url``'s fingerprint?
+
+    The sharded-audit partition: shard K processes exactly the URLs
+    whose ``request_fingerprint % shards == K``.  The fingerprint is
+    already the dupefilter's canonical identity, so a URL lands in the
+    same shard however it was spelled, and the partition is stable
+    across runs and machines.
+    """
+    if shards <= 1:
+        return True
+    return int(request_fingerprint(url), 16) % shards == shard
+
+
 class FrontierRequest(NamedTuple):
     """One admitted fetch: priority is ``(depth, seq)``, FIFO within depth."""
 

@@ -13,16 +13,18 @@ this class makes a one-liner::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 from repro.config.options import Options
 from repro.core.diagnostics import Diagnostic
 from repro.core.linter import Weblint
-from repro.core.service import LintService, StringSource
-from repro.robot.frontier import FrontierJournal
+from repro.core.service import LintResult, LintService, StringSource
+from repro.robot.frontier import FrontierJournal, shard_owns
 from repro.robot.linkcheck import FragmentChecker, LinkChecker, LinkStatus
 from repro.robot.traversal import CrawlProgress, Robot, TraversalPolicy
 from repro.site.links import Link
+from repro.site.rollup import PAGES_FILENAME, ROLLUP_FILENAME, PageSpill, SiteRollup
 from repro.www.client import UserAgent
 from repro.www.message import Response
 
@@ -209,3 +211,126 @@ class Poacher:
         report.broken_pages = sorted(stats.http_error_urls.items())
         report.unreachable_pages = sorted(stats.failed_urls.items())
         return report
+
+    def crawl_stream(
+        self,
+        start_url: str,
+        report_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[CrawlProgress] = None,
+        resume: bool = False,
+        on_result: Optional[Callable[[LintResult], None]] = None,
+    ) -> SiteRollup:
+        """Crawl and roll up, never holding the whole audit in memory.
+
+        The streaming counterpart of :meth:`crawl`: each page is linted
+        and link-checked the moment the frontier completes it, its link
+        problems become real ``bad-link`` / ``bad-fragment``
+        diagnostics, and everything folds into a bounded
+        :class:`~repro.site.rollup.SiteRollup`.  With ``report_dir``
+        the full per-page diagnostics spill to
+        ``report_dir/pages.jsonl`` and the rollup is saved as
+        ``rollup.json`` when the crawl ends.  ``on_result`` observes
+        every page as a ``LintResult`` in completion order -- what
+        ``poacher --format jsonl`` streams to stdout.
+
+        With ``TraversalPolicy.shards > 1`` only the owned partition of
+        pages (and of crawl failures) is rolled up; merge the shard
+        report directories with ``repro.tools.merge_shards``.
+        (Unlike :meth:`crawl`'s report, the rollup does not track
+        merely *moved* links -- redirects are not problems.)
+        """
+        rollup = SiteRollup(root=start_url)
+        spill: Optional[PageSpill] = None
+        if report_dir is not None:
+            report_dir = Path(report_dir)
+            spill = PageSpill(report_dir / PAGES_FILENAME)
+        validate = self.options.follow_links
+        check_fragments = validate and self.options.is_enabled("bad-fragment")
+        check_links = validate and self.options.is_enabled("bad-link")
+
+        def link_findings(url: str, links: list[Link]) -> list[Diagnostic]:
+            findings: list[Diagnostic] = []
+            for link in links:
+                if link.is_fragment_only:
+                    if check_fragments and (
+                        self.fragment_checker.fragment_defined(url, link.url)
+                        is False
+                    ):
+                        findings.append(self._fragment_diagnostic(url, link))
+                    continue
+                if not link.checkable:
+                    continue
+                status = self.link_checker.check(url, link.url)
+                if status.broken:
+                    if check_links:
+                        findings.append(Diagnostic.build(
+                            "bad-link",
+                            line=link.line,
+                            filename=url,
+                            target=link.url,
+                            status=status.describe(),
+                        ))
+                    continue
+                if check_fragments and "#" in link.url and (
+                    self.fragment_checker.fragment_defined(url, link.url)
+                    is False
+                ):
+                    findings.append(self._fragment_diagnostic(url, link))
+            return findings
+
+        def on_page(url: str, response: Response, links: list[Link]) -> None:
+            diagnostics = list(
+                self.service.check(
+                    StringSource(response.body, name=url)
+                ).diagnostics
+            )
+            if validate:
+                diagnostics.extend(link_findings(url, links))
+            rollup.add_page(url, diagnostics)
+            if spill is not None:
+                spill.write_page(url, diagnostics)
+            if on_result is not None:
+                on_result(LintResult(name=url, diagnostics=diagnostics))
+
+        try:
+            self.robot.crawl(
+                start_url, on_page, progress=progress, resume=resume
+            )
+            # Crawl failures fold in at the end, filtered to this
+            # shard's partition (every shard fetches everything, so
+            # unfiltered counts would multiply under a merge).
+            shards, shard = self.policy.shards, self.policy.shard
+            stats = self.robot.stats
+            for url, status in sorted(stats.http_error_urls.items()):
+                if not shard_owns(url, shards, shard):
+                    continue
+                error = f"HTTP {status}"
+                rollup.note_page_error()
+                if spill is not None:
+                    spill.write_page(url, (), error=error)
+                if on_result is not None:
+                    on_result(LintResult(name=url, error=error))
+            for url, error in sorted(stats.failed_urls.items()):
+                if not shard_owns(url, shards, shard):
+                    continue
+                rollup.note_page_error()
+                if spill is not None:
+                    spill.write_page(url, (), error=error)
+                if on_result is not None:
+                    on_result(LintResult(name=url, error=error))
+        finally:
+            if spill is not None:
+                spill.close()
+        if report_dir is not None:
+            rollup.save(Path(report_dir) / ROLLUP_FILENAME)
+        return rollup
+
+    def _fragment_diagnostic(self, url: str, link: Link) -> Diagnostic:
+        target, _, fragment = link.url.partition("#")
+        return Diagnostic.build(
+            "bad-fragment",
+            line=link.line,
+            filename=url,
+            target=target or "this page",
+            fragment=fragment,
+        )

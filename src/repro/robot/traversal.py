@@ -62,6 +62,7 @@ from repro.robot.frontier import (
     FrontierScheduler,
     ResumeState,
     request_fingerprint,
+    shard_owns,
 )
 from repro.site.links import extract_links
 from repro.www.client import (
@@ -98,6 +99,14 @@ class TraversalPolicy:
     #: ``"streaming"`` (the scheduler) or ``"wave"`` (the legacy
     #: level-synchronous frontier, kept as a benchmark comparator).
     frontier: str = "streaming"
+    #: Sharded-audit partition: with ``shards > 1`` this crawl invokes
+    #: ``on_page`` only for URLs whose request fingerprint falls in
+    #: shard ``shard`` (``request_fingerprint % shards == shard``).
+    #: Every shard still *fetches* and follows links on all pages --
+    #: discovery needs the whole graph -- but the shared HTTP cache
+    #: under ``--state-dir`` makes the overlap conditional-cheap.
+    shards: int = 1
+    shard: int = 0
 
 
 #: How many of the slowest fetches :class:`CrawlStats` keeps per crawl.
@@ -710,6 +719,10 @@ class Robot:
         if self.journal is not None:
             self.journal.enqueued(url, depth, seq)
 
+    def _owns(self, url: str) -> bool:
+        """Is this crawl's shard responsible for processing ``url``?"""
+        return shard_owns(url, self.policy.shards, self.policy.shard)
+
     def _consume(
         self, url, depth, response, frontier, start, processed, visited,
         on_page, live=True,
@@ -774,7 +787,15 @@ class Robot:
 
         links = extract_links(response.body)
         if on_page is not None:
-            on_page(response.url, response, links)
+            # Sharded audits: only the owning shard processes the page;
+            # link extraction still runs so every shard discovers the
+            # whole frontier (the partition is of the *work*, not the
+            # graph).  Ownership keys on the request URL -- the same
+            # fingerprint the dupefilter admitted.
+            if self._owns(url):
+                on_page(response.url, response, links)
+            else:
+                registry.inc("robot.frontier.shard_skipped")
 
         for link in links:
             if not link.checkable:

@@ -3,69 +3,80 @@
 "Spot ... is run on the web site's host machine to analyse a web site for
 problems.  Problems identified include HTML syntax errors, broken links,
 missing index files, non-portable host references, and summary analyses
-of your site."  This module renders a :class:`~repro.site.sitecheck.SiteReport`
-(plus its navigation analysis) as exactly that kind of summary, in plain
-text or as an HTML page that itself lints clean.
+of your site."  This module renders that kind of summary, in plain text
+or as an HTML page that itself lints clean, from either a fully
+materialised :class:`~repro.site.sitecheck.SiteReport` or a bounded
+:class:`~repro.site.rollup.SiteRollup` (the streaming audit path --
+every number the summary shows lives in the rollup, so rendering never
+needs the per-page diagnostics back in memory).
 """
 
 from __future__ import annotations
 
-from repro.core.messages import Category
+from typing import Union
+
 from repro.gateway.htmlreport import escape, render_page, render_table
+from repro.site.rollup import SITE_MESSAGES, WORST_PAGES_KEPT, SiteRollup
 from repro.site.sitecheck import SiteReport
 
 #: Site-level analyses broken out in the summary, in display order.
-_SITE_MESSAGES = ("bad-link", "bad-fragment", "orphan-page", "directory-index")
+_SITE_MESSAGES = SITE_MESSAGES
 
 
 def _counts(report: SiteReport) -> dict[str, int]:
-    counts = {
-        "pages": len(report.pages),
-        "pages with problems": len(report.pages_with_problems()),
-        "total messages": report.count(),
-    }
-    for category in Category:
-        counts[f"{category.value}s"] = sum(
-            1
-            for diagnostic in report.all_diagnostics()
-            if diagnostic.category is category
-        )
-    for message_id in _SITE_MESSAGES:
-        counts[message_id] = report.count(message_id)
-    return counts
+    """The summary table -- one pass over the diagnostics."""
+    return SiteRollup.from_report(report, navigation=False).counts()
 
 
-def render_text_report(report: SiteReport, top_pages: int = 10) -> str:
+def _as_rollup(
+    report: Union[SiteReport, SiteRollup], top_pages: int
+) -> SiteRollup:
+    if isinstance(report, SiteRollup):
+        return report
+    return SiteRollup.from_report(
+        report, keep_worst=max(top_pages, WORST_PAGES_KEPT)
+    )
+
+
+def render_text_report(
+    report: Union[SiteReport, SiteRollup], top_pages: int = 10
+) -> str:
     """A terminal-friendly site summary."""
-    lines = [f"site report: {report.root}", "=" * 60]
-    counts = _counts(report)
+    rollup = _as_rollup(report, top_pages)
+    lines = [f"site report: {rollup.root}", "=" * 60]
+    counts = rollup.counts()
     width = max(len(key) for key in counts)
     for key, value in counts.items():
         lines.append(f"  {key.ljust(width)}  {value}")
 
-    worst = sorted(
-        (
-            (len(report.page_diagnostics.get(page, [])), page)
-            for page in report.pages
-        ),
-        reverse=True,
-    )
-    noisy = [(count, page) for count, page in worst if count]
+    # Worst pages rank by message count; equal counts list in ascending
+    # path order so the top-N block is stable and readable.
+    noisy = rollup.worst_pages()[:top_pages]
     if noisy:
         lines.append("")
         lines.append(f"pages with the most messages (top {top_pages}):")
-        for count, page in noisy[:top_pages]:
+        for count, page in noisy:
             lines.append(f"  {count:4}  {page}")
 
-    if report.pages:
-        navigation = report.navigation()
+    if rollup.navigation_lines:
         lines.append("")
-        lines.extend(navigation.summary_lines())
+        lines.extend(rollup.navigation_lines)
     return "\n".join(lines)
 
 
-def render_html_report(report: SiteReport) -> str:
+def _report_title(root: str) -> str:
+    # Keep our own title under weblint's title-length limit.
+    site_name = root.rstrip("/").rsplit("/", 1)[-1] or root
+    title = f"Site report for {site_name}"
+    if len(title) > 60:
+        title = "Site report"
+    return title
+
+
+def render_html_report(report: Union[SiteReport, SiteRollup]) -> str:
     """A complete HTML page summarising the site check."""
+    if isinstance(report, SiteRollup):
+        return _render_html_rollup(report)
     counts = _counts(report)
     fragments = [
         f"<p>Site checked: <code>{escape(report.root)}</code></p>",
@@ -108,9 +119,34 @@ def render_html_report(report: SiteReport) -> str:
         fragments.append("<h2>Navigation</h2>")
         fragments.append(render_table(rows, summary="navigation analysis"))
 
-    # Keep our own title under weblint's title-length limit.
-    site_name = report.root.rstrip("/").rsplit("/", 1)[-1] or report.root
-    title = f"Site report for {site_name}"
-    if len(title) > 60:
-        title = "Site report"
-    return render_page(title, fragments)
+    return render_page(_report_title(report.root), fragments)
+
+
+def _render_html_rollup(rollup: SiteRollup) -> str:
+    """The bounded-memory HTML summary.
+
+    Per-page diagnostic listings live in the audit's ``pages.jsonl``
+    spill, not in the rollup, so this page shows the summary, the
+    worst-pages table and the navigation analysis.
+    """
+    fragments = [
+        f"<p>Site checked: <code>{escape(rollup.root)}</code></p>",
+        "<h2>Summary</h2>",
+        render_table(
+            [(key, str(value)) for key, value in rollup.counts().items()],
+            summary="site check summary",
+        ),
+    ]
+    worst = rollup.worst_pages()
+    if worst:
+        fragments.append("<h2>Pages with the most messages</h2>")
+        fragments.append(render_table(
+            [(page, str(count)) for count, page in worst],
+            summary="worst pages",
+        ))
+    if rollup.navigation_lines:
+        items = "\n".join(
+            f"  <li>{escape(line)}</li>" for line in rollup.navigation_lines
+        )
+        fragments.append(f"<h2>Navigation</h2>\n<ul>\n{items}\n</ul>")
+    return render_page(_report_title(rollup.root), fragments)

@@ -18,6 +18,7 @@ fetch path the robot uses.
 from __future__ import annotations
 
 import time
+from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
@@ -30,6 +31,7 @@ from repro.site.links import Link, extract_anchor_names, extract_links
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.site.orphans import build_incoming_counts, find_orphans
+from repro.site.rollup import PageSpill, SiteRollup
 from repro.site.walker import find_html_files, has_index_file, iter_directories
 
 
@@ -144,19 +146,39 @@ class SiteChecker:
         registry.observe("site.check_ms", (time.perf_counter() - start) * 1000.0)
         return report
 
-    def check_pages(self, pages, root: str = "stream") -> SiteReport:
+    def check_pages(
+        self,
+        pages,
+        root: str = "stream",
+        rollup: Optional[SiteRollup] = None,
+        spill: Optional[PageSpill] = None,
+    ) -> Union[SiteReport, SiteRollup]:
         """Streaming site check over an iterable of ``(name, text)`` pairs.
 
         The streamed counterpart of :meth:`check_directory`, for pages
         that arrive one at a time -- e.g. fed out of a crawl frontier
         as each fetch completes.  Each page is linted the moment it
-        arrives, so memory holds one page body at a time plus the link
-        graph; the site-level analyses that need the complete page set
-        (``bad-link``, ``bad-fragment``, ``orphan-page``) run once the
-        stream ends.  Link targets resolve against the page *names*
-        (no filesystem), so the same report comes out whether the pages
-        were walked from disk or streamed from a crawl.
+        arrives; the site-level analyses that need the complete page
+        set (``bad-link``, ``bad-fragment``, ``orphan-page``) resolve
+        once the stream ends.  Link targets resolve against the page
+        *names* (no filesystem), so the same report comes out whether
+        the pages were walked from disk or streamed from a crawl.
+
+        Two memory regimes:
+
+        - Default: returns a fully materialised :class:`SiteReport`
+          (every page's diagnostics and links held until the end).
+        - ``rollup=``: the memory-bounded audit path.  Each page's
+          diagnostics are tallied into the given
+          :class:`~repro.site.rollup.SiteRollup` (and spilled to
+          ``spill`` when given) the moment the page resolves; links are
+          kept only until both endpoints are known, and the link graph
+          is a compact integer adjacency.  Returns the rollup, which
+          renders an identical summary to
+          ``SiteRollup.from_report(<the SiteReport>)``.
         """
+        if rollup is not None:
+            return self._check_pages_rollup(pages, root, rollup, spill)
         report = SiteReport(root=str(root))
         registry = get_registry()
         tracer = get_tracer()
@@ -183,7 +205,224 @@ class SiteChecker:
         )
         return report
 
+    def _check_pages_rollup(
+        self,
+        pages,
+        root: str,
+        rollup: SiteRollup,
+        spill: Optional[PageSpill],
+    ) -> SiteRollup:
+        """The memory-bounded streamed check (see :meth:`check_pages`)."""
+        registry = get_registry()
+        tracer = get_tracer()
+        start = time.perf_counter()
+        follow = self.options.follow_links
+        state = _StreamState()
+        with tracer.span("site.check_stream", root=str(root)):
+            for name, text in pages:
+                result = self.service.check(StringSource(text, name=name))
+                if result.error is not None:
+                    rollup.note_page_error()
+                    if spill is not None:
+                        spill.write_page(name, (), error=result.error)
+                    continue
+                registry.inc("site.files.checked")
+                rollup.count_diagnostics(result.diagnostics)
+                # Only pages with problems take a counter slot: on a
+                # mostly-clean site the table stays near-empty.
+                if result.diagnostics:
+                    state.problem_counts[name] = len(result.diagnostics)
+                if spill is not None:
+                    spill.write_page(name, result.diagnostics)
+                self._stream_page(
+                    state,
+                    name,
+                    extract_links(text),
+                    extract_anchor_names(text),
+                    follow,
+                )
+            with tracer.span("site.analyses", pages=len(state.names)):
+                self._finish_stream(state, rollup, spill, follow)
+        registry.observe(
+            "site.check_ms", (time.perf_counter() - start) * 1000.0
+        )
+        return rollup
+
+    def _stream_page(
+        self,
+        state: "_StreamState",
+        page: str,
+        links: list[Link],
+        anchors: set[str],
+        follow: bool,
+    ) -> None:
+        """Fold one arrived page into the bounded cross-page state."""
+        page_id = state.add_page(page, anchors)
+
+        # Everything parked waiting for this page can now resolve: the
+        # links are not broken (and are dropped), deferred fragments
+        # check against the real anchor set, graph edges materialise.
+        state.pending_links.pop(page, None)
+        for source, line, url, fragment in state.pending_fragments.pop(
+            page, ()
+        ):
+            if fragment not in anchors:
+                state.find(self._make_site_diagnostic(
+                    "bad-fragment",
+                    filename=source,
+                    line=line,
+                    target=url.split("#", 1)[0] or "this page",
+                    fragment=fragment,
+                ))
+        for source_id in state.pending_edges.pop(page, ()):
+            state.add_edge(source_id, page_id)
+
+        for link in links:
+            if follow and not link.scheme:
+                self._stream_link_check(state, page, link, anchors)
+            # The graph channel (navigation + orphans) runs regardless
+            # of follow_links, mirroring the buffered streamed check.
+            if link.scheme or link.is_fragment_only:
+                continue
+            target_text = link.url.split("#", 1)[0].split("?", 1)[0]
+            if not target_text:
+                continue
+            target = _resolve_streamed_target(page, target_text)
+            target_id = state.known.get(target)
+            if target_id is not None:
+                state.add_edge(page_id, target_id)
+            else:
+                state.pending_edges.setdefault(target, []).append(page_id)
+
+    def _stream_link_check(
+        self,
+        state: "_StreamState",
+        page: str,
+        link: Link,
+        anchors: set[str],
+    ) -> None:
+        """bad-link / bad-fragment for one link, resolved or parked."""
+        target_text, _, fragment = link.url.partition("#")
+        if not target_text:
+            # Same-page fragment: #section must exist here.
+            if fragment and fragment not in anchors:
+                state.find(self._make_site_diagnostic(
+                    "bad-fragment",
+                    filename=page,
+                    line=link.line,
+                    target="this page",
+                    fragment=fragment,
+                ))
+            return
+        target = _resolve_streamed_target(page, target_text)
+        if target in state.known:
+            if fragment and fragment not in state.anchors.get(target, ()):
+                state.find(self._make_site_diagnostic(
+                    "bad-fragment",
+                    filename=page,
+                    line=link.line,
+                    target=link.url.split("#", 1)[0] or "this page",
+                    fragment=fragment,
+                ))
+            return
+        state.pending_links.setdefault(target, []).append(
+            (page, link.line, link.url)
+        )
+        if fragment:
+            state.pending_fragments.setdefault(target, []).append(
+                (page, link.line, link.url, fragment)
+            )
+
+    def _finish_stream(
+        self,
+        state: "_StreamState",
+        rollup: SiteRollup,
+        spill: Optional[PageSpill],
+        follow: bool,
+    ) -> None:
+        """End-of-stream analyses: broken links, orphans, navigation."""
+        from repro.site.navigation import analyse_navigation
+
+        # Links whose target never arrived are broken.  The buffered
+        # check's elif means a missing target suppresses its fragment
+        # check, so leftover pending fragments are simply dropped.
+        if follow:
+            for target in sorted(state.pending_links):
+                for source, line, url in state.pending_links[target]:
+                    state.find(self._make_site_diagnostic(
+                        "bad-link",
+                        filename=source,
+                        line=line,
+                        target=url,
+                        status="page not found",
+                    ))
+        state.pending_links.clear()
+        state.pending_fragments.clear()
+        state.pending_edges.clear()
+
+        pages_sorted = sorted(state.known)
+        incoming = build_incoming_counts(state.edge_pairs())
+        roots = [
+            page
+            for page in pages_sorted
+            if page.rsplit("/", 1)[-1] in self.options.index_filenames
+        ]
+        for orphan in find_orphans(pages_sorted, incoming, roots=roots):
+            state.find(self._make_site_diagnostic(
+                "orphan-page", filename=orphan, page=orphan
+            ))
+        # The incoming-count table is orphan-analysis scratch; release
+        # it before the navigation pass allocates its own O(pages)
+        # structures, so the two never stack on the high-water mark.
+        del incoming
+
+        # Fold the analysis findings in deterministically: every one
+        # attaches to the page it names, exactly like the buffered
+        # check's attach_to.
+        findings = sorted(state.findings, key=Diagnostic.sort_key)
+        rollup.count_diagnostics(findings)
+        for diagnostic in findings:
+            state.problem_counts[diagnostic.filename] = (
+                state.problem_counts.get(diagnostic.filename, 0) + 1
+            )
+        if spill is not None and findings:
+            by_page: dict[str, list[Diagnostic]] = {}
+            for diagnostic in findings:
+                by_page.setdefault(diagnostic.filename, []).append(diagnostic)
+            for page in sorted(by_page):
+                spill.write_page(page, by_page[page], phase="site")
+        for page in pages_sorted:
+            rollup.note_page(page, state.problem_counts.get(page, 0))
+        rollup.note_links(state.edges)
+        if pages_sorted:
+            nav_root = next(
+                (page for page in pages_sorted
+                 if page.rsplit("/", 1)[-1].startswith("index.")),
+                pages_sorted[0],
+            )
+            navigation = analyse_navigation(
+                pages_sorted, state.edge_pairs(), root=nav_root
+            )
+            rollup.navigation_lines = navigation.summary_lines()
+
     # -- site-level checks ----------------------------------------------------------
+
+    def _make_site_diagnostic(
+        self,
+        message_id: str,
+        *,
+        filename: str,
+        line: int = 0,
+        **arguments: object,
+    ) -> Optional[Diagnostic]:
+        """Build one site-analysis diagnostic, or ``None`` if disabled."""
+        if not self.options.is_enabled(message_id):
+            return None
+        diagnostic = Diagnostic.build(
+            message_id, line=line, filename=filename, **arguments
+        )
+        get_registry().inc(f"site.diagnostics.{diagnostic.category.value}")
+        return diagnostic
 
     def _emit(
         self,
@@ -195,12 +434,11 @@ class SiteChecker:
         attach_to: Optional[str] = None,
         **arguments: object,
     ) -> None:
-        if not self.options.is_enabled(message_id):
-            return
-        diagnostic = Diagnostic.build(
-            message_id, line=line, filename=filename, **arguments
+        diagnostic = self._make_site_diagnostic(
+            message_id, filename=filename, line=line, **arguments
         )
-        get_registry().inc(f"site.diagnostics.{diagnostic.category.value}")
+        if diagnostic is None:
+            return
         if attach_to is not None:
             report.page_diagnostics.setdefault(attach_to, []).append(diagnostic)
         else:
@@ -469,6 +707,67 @@ class SiteChecker:
                 attach_to=orphan,
                 page=orphan,
             )
+
+
+class _StreamState:
+    """Bounded cross-page state for the rollup-mode streamed check.
+
+    The buffered streamed check holds every page's :class:`Link`
+    objects until the end; at audit scale that list *is* the memory
+    wall.  This state resolves each link the moment both endpoints are
+    known and parks the rest in pending tables keyed by target, so
+    steady-state memory is the page-name set, a compact integer link
+    graph (for the navigation and orphan analyses) and the
+    currently-unresolved links -- not the full link list.
+    """
+
+    def __init__(self) -> None:
+        self.known: dict[str, int] = {}  # page name -> interned id
+        self.names: list[str] = []
+        #: The link graph as a flat (source id, target id) pair array:
+        #: 8 bytes per edge instead of a Python list per page.
+        self.edge_ids = array("L")
+        self.edges = 0
+        #: Anchor-name sets, kept only when non-empty (absent == empty).
+        self.anchors: dict[str, set[str]] = {}
+        #: target -> [(source, line, url)] for links whose target page
+        #: has not arrived yet; leftovers at the end are broken links.
+        self.pending_links: dict[str, list[tuple[str, int, str]]] = {}
+        #: target -> [(source, line, url, fragment)] fragment checks
+        #: deferred until the target's anchors are known.
+        self.pending_fragments: dict[
+            str, list[tuple[str, int, str, str]]
+        ] = {}
+        #: target -> [source ids] graph edges awaiting their endpoint.
+        self.pending_edges: dict[str, list[int]] = {}
+        self.problem_counts: dict[str, int] = {}
+        #: Analysis-phase diagnostics (bounded by the problem count).
+        self.findings: list[Diagnostic] = []
+
+    def add_page(self, page: str, anchors: set[str]) -> int:
+        page_id = self.known.get(page)
+        if page_id is None:
+            page_id = len(self.names)
+            self.known[page] = page_id
+            self.names.append(page)
+        if anchors:
+            self.anchors[page] = anchors
+        return page_id
+
+    def add_edge(self, source_id: int, target_id: int) -> None:
+        self.edge_ids.append(source_id)
+        self.edge_ids.append(target_id)
+        self.edges += 1
+
+    def find(self, diagnostic: Optional[Diagnostic]) -> None:
+        if diagnostic is not None:
+            self.findings.append(diagnostic)
+
+    def edge_pairs(self):
+        """The materialised edges as ``(source, target)`` name pairs."""
+        ids = self.edge_ids
+        for index in range(0, len(ids), 2):
+            yield self.names[ids[index]], self.names[ids[index + 1]]
 
 
 def _relative_name(path: Path, root: Path) -> str:

@@ -64,6 +64,12 @@ PORTABLE_DIRECTIONS = {
     # rise in refetched_pages fails the interrupted-crawl CI gate.
     "resumed_pages": "higher",
     "refetched_pages": "lower",
+    # Streaming-report memory: the high-water gauge is tracemalloc's
+    # traced Python heap, deterministic enough to gate across machines;
+    # a >10% rise against the committed BENCH_stream baseline means the
+    # bounded rollup grew an unbounded appetite.
+    "report_high_water_kb": "lower",
+    "stream_high_water_ratio_10x": "lower",
 }
 
 

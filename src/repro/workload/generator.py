@@ -62,6 +62,7 @@ class PageGenerator:
     """Generate valid pages and interlinked sites."""
 
     def __init__(self, seed: int = 0, config: Optional[GeneratorConfig] = None) -> None:
+        self.seed = seed
         self.random = random.Random(seed)
         self.config = config if config is not None else GeneratorConfig()
 
@@ -250,3 +251,91 @@ class PageGenerator:
             "</body>\n</html>\n"
         )
         return pages
+
+    def iter_site(self, n_pages: int, pages_per_section: int = 50):
+        """Lazily yield an interlinked site of ``(name, text)`` pairs.
+
+        The streaming counterpart of :meth:`site`, sized for audits too
+        big to hold as a dict: pages come out one at a time and nothing
+        is retained between them.  The link structure is hub-and-spoke
+        -- ``index.html`` links the section hubs, each hub links its
+        pages, and each page links its hub plus the next page in its
+        section (a ring) -- so no single page's size grows with the
+        site (only the index grows, by one link per
+        ``pages_per_section`` pages), every page is reachable and no
+        link dangles.
+
+        Each page is generated by a private ``PageGenerator`` derived
+        from this generator's seed and the page index, so page content
+        depends only on ``(seed, index)`` -- resumable, and identical
+        however the iteration is driven.
+        """
+        if n_pages < 1:
+            raise ValueError("a site needs at least one page")
+        sections = max(1, -(-(n_pages - 1) // (pages_per_section + 1)))
+
+        def hub_name(section: int) -> str:
+            return f"section{section}.html"
+
+        def sub(index: int) -> "PageGenerator":
+            return PageGenerator(
+                seed=self.seed * 1_000_003 + index, config=self.config
+            )
+
+        index_links = "\n".join(
+            f'<li><a href="{hub_name(section)}">section {section} '
+            "overview</a></li>"
+            for section in range(min(sections, max(0, n_pages - 1)))
+        )
+        index_body = (
+            f"<h1>Site index</h1>\n<ul>\n{index_links}\n</ul>"
+            if index_links
+            else "<h1>Site index</h1>\n<p>An empty site.</p>"
+        )
+        yield "index.html", (
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+            "<html>\n<head>\n<title>Site index</title>\n"
+            '<meta name="description" content="site index">\n'
+            "</head>\n<body>\n"
+            f"{index_body}\n"
+            "</body>\n</html>\n"
+        )
+
+        # Page indexes 1..n_pages-1 fill contiguous per-section blocks:
+        # the first slot of each block is its hub, the rest its members.
+        members: dict[int, list[str]] = {s: [] for s in range(sections)}
+        hubs: list[int] = []
+        for index in range(1, n_pages):
+            section, slot = divmod(index - 1, pages_per_section + 1)
+            if slot == 0:
+                hubs.append(index)
+            else:
+                members[section].append(f"page{index}.html")
+        for section, hub_index in enumerate(hubs):
+            names = members[section]
+            link_items = "\n".join(
+                f'<li><a href="{name}">{name} in section {section}</a></li>'
+                for name in names
+            )
+            listing = (
+                f"<ul>\n{link_items}\n</ul>" if link_items
+                else "<p>No pages in this section yet.</p>"
+            )
+            yield hub_name(section), (
+                '<!DOCTYPE HTML PUBLIC '
+                '"-//W3C//DTD HTML 4.0 Transitional//EN">\n'
+                "<html>\n<head>\n"
+                f"<title>Section {section} overview</title>\n"
+                f'<meta name="description" content="section {section}">\n'
+                "</head>\n<body>\n"
+                f"<h1>Section {section} overview</h1>\n"
+                '<p>Back to <a href="index.html">the site index</a>.</p>\n'
+                f"{listing}\n"
+                "</body>\n</html>\n"
+            )
+            for position, name in enumerate(names):
+                page_index = int(name[4:-5])
+                ring_next = names[(position + 1) % len(names)]
+                yield name, sub(page_index).page(
+                    link_targets=(hub_name(section), ring_next)
+                )
