@@ -138,6 +138,22 @@ def record_stream_result(name: str, **values: object) -> None:
     _STREAM_RESULTS[name] = dict(values)
 
 
+#: Results the warm-daemon benchmark (E20) records for
+#: BENCH_daemon.json.
+_DAEMON_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_daemon_result(name: str, **values: object) -> None:
+    """Record one persistent-daemon measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_daemon.json``
+    carries only the warm-pool numbers (cold vs warm batch wall clock,
+    the sustained-QPS drive's exact request/document counts, rejects
+    and warm request latency percentiles).
+    """
+    _DAEMON_RESULTS[name] = dict(values)
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
     """Emit ``BENCH_obs.json`` so every benchmark run leaves a snapshot.
 
@@ -224,6 +240,17 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         try:
             (root / "BENCH_stream.json").write_text(
                 json.dumps(stream_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+    if _DAEMON_RESULTS:
+        daemon_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _DAEMON_RESULTS,
+        }
+        try:
+            (root / "BENCH_daemon.json").write_text(
+                json.dumps(daemon_payload, indent=2, sort_keys=True) + "\n"
             )
         except OSError:  # pragma: no cover - read-only checkout
             pass

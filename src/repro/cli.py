@@ -145,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
         "default from WEBLINT_JOBS, else 1)",
     )
     parser.add_argument(
+        "--daemon",
+        metavar="ADDR",
+        default=os.environ.get("WEBLINT_DAEMON") or None,
+        help="lint through a running weblint-daemon at ADDR (HOST:PORT "
+        "or URL) instead of in-process; documents are read locally and "
+        "checked by the daemon's pre-warmed workers "
+        "(default from WEBLINT_DAEMON)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=os.environ.get("WEBLINT_CACHE_DIR") or None,
@@ -357,7 +366,11 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         reporter = _pick_reporter(args)
-        service = LintService(options=options, registry=registry, cache=cache)
+        service = (
+            None
+            if args.daemon
+            else LintService(options=options, registry=registry, cache=cache)
+        )
     except KeyError as exc:
         err.write(f"weblint: {exc}\n")
         return constants.EXIT_USAGE
@@ -375,7 +388,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             stack.enter_context(use_timeseries(TimeSeries()))
             stack.enter_context(use_event_log(sink.open_event_log()))
 
-        code = _check_paths(args, options, service, reporter, out, err)
+        if args.daemon:
+            code = _check_remote(args, reporter, out, err)
+        else:
+            code = _check_paths(args, options, service, reporter, out, err)
         wall_seconds = time.perf_counter() - started
 
         if tracer is not None and not _write_trace(tracer, args.trace, err):
@@ -391,6 +407,94 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             )
             sink.close(registry)
     return code
+
+
+def _remote_options(args) -> dict[str, object]:
+    """The protocol options dict a ``--daemon`` run forwards.
+
+    Only command-line switches travel; the daemon's own configuration
+    (and rcfiles on *its* host) provide the base.
+    """
+    payload: dict[str, object] = {}
+    if args.extension:
+        payload["spec"] = args.extension
+    if args.pedantic:
+        payload["pedantic"] = True
+    if args.preset:
+        payload["preset"] = args.preset
+    enable = [part for chunk in args.enable for part in chunk.split(",") if part]
+    disable = [
+        part for chunk in args.disable for part in chunk.split(",") if part
+    ]
+    if enable:
+        payload["enable"] = enable
+    if disable:
+        payload["disable"] = disable
+    return payload
+
+
+def _check_remote(args, reporter, out, err) -> int:
+    """The ``--daemon ADDR`` batch: documents read here, linted there.
+
+    Same reporter and exit-code contract as the in-process path; the
+    only difference is where the engine runs.
+    """
+    from repro.core.service import SourceError
+    from repro.daemon.client import DaemonClientError, remote_check
+
+    paths = args.paths or ["-"]
+    documents: list[tuple[str, str]] = []
+    failures: list[str] = []
+    for path_text in paths:
+        if Path(path_text).is_dir():
+            err.write(
+                f"weblint: {path_text} is a directory "
+                f"(-R is not supported with --daemon)\n"
+            )
+            return constants.EXIT_USAGE
+        source = StdinSource() if path_text == "-" else PathSource(path_text)
+        try:
+            documents.append((source.name, source.text()))
+        except SourceError as exc:
+            failures.append(str(exc))
+
+    results = []
+    if documents:
+        try:
+            results = remote_check(args.daemon, documents, _remote_options(args))
+        except DaemonClientError as exc:
+            err.write(f"weblint: {exc}\n")
+            return constants.EXIT_USAGE
+
+    total = 0
+    if getattr(reporter, "streams_incrementally", False):
+        reporter.begin(out)
+        for result in results:
+            reporter.emit(result)
+            if result.error is not None:
+                failures.append(result.error)
+            else:
+                total += len(result.diagnostics)
+        reporter.end()
+    else:
+        batched = [] if reporter.batch_output else None
+        for result in results:
+            if result.error is not None:
+                failures.append(result.error)
+                continue
+            total += len(result.diagnostics)
+            if batched is None:
+                reporter.report(result.diagnostics, stream=out)
+            else:
+                batched.extend(result.diagnostics)
+        if batched is not None:
+            reporter.report(batched, stream=out)
+
+    for failure in failures:
+        err.write(f"weblint: {failure}\n")
+    if failures:
+        return constants.EXIT_USAGE
+    return constants.EXIT_WARNINGS if total else constants.EXIT_CLEAN
 
 
 def _check_paths(args, options, service: LintService, reporter, out, err) -> int:

@@ -1,0 +1,87 @@
+"""The ``weblint --daemon ADDR`` client: lint through a running daemon.
+
+Documents are read locally (the daemon never sees the filesystem),
+shipped as one JSON batch to ``POST /lint``, and the daemon's results
+come back as ordinary :class:`~repro.core.service.LintResult` objects
+for the CLI's reporters.  Backpressure is honoured: a 429/503 answer
+waits out the server's ``Retry-After`` (bounded) and retries before
+giving up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.service import LintResult
+from repro.daemon.protocol import (
+    ProtocolError,
+    decode_batch_response,
+    encode_batch_request,
+)
+
+#: Cap on how long one Retry-After wait may be; a daemon advertising a
+#: silly value should not hang an interactive client.
+MAX_RETRY_WAIT_S = 5.0
+
+
+class DaemonClientError(Exception):
+    """The daemon could not be reached or answered unusably."""
+
+
+def base_url(address: str) -> str:
+    """Normalise ``HOST:PORT``, ``:PORT`` or a full URL to a base URL."""
+    address = address.strip().rstrip("/")
+    if not address:
+        raise DaemonClientError("empty daemon address")
+    if address.startswith(("http://", "https://")):
+        return address
+    if address.startswith(":"):
+        address = f"127.0.0.1{address}"
+    return f"http://{address}"
+
+
+def remote_check(
+    address: str,
+    documents: list[tuple[str, str]],
+    options: Optional[dict[str, object]] = None,
+    timeout_s: float = 30.0,
+    max_attempts: int = 3,
+    sleep=time.sleep,
+) -> list[LintResult]:
+    """Check ``[(name, text), ...]`` through the daemon at ``address``."""
+    from repro.www.server import http_post
+
+    url = f"{base_url(address)}/lint"
+    body = encode_batch_request(documents, options)
+    last_error = "no attempts made"
+    for attempt in range(max_attempts):
+        try:
+            status, headers, payload = http_post(url, body, timeout=timeout_s)
+        except (OSError, ValueError) as exc:
+            raise DaemonClientError(
+                f"cannot reach lint daemon at {url}: {exc}"
+            ) from exc
+        if status == 200:
+            try:
+                results = decode_batch_response(payload)
+            except ProtocolError as exc:
+                raise DaemonClientError(str(exc)) from exc
+            if len(results) != len(documents):
+                raise DaemonClientError(
+                    f"daemon returned {len(results)} results "
+                    f"for {len(documents)} documents"
+                )
+            return results
+        if status in (429, 503) and attempt + 1 < max_attempts:
+            try:
+                retry_after = float(headers.get("retry-after", "1"))
+            except ValueError:
+                retry_after = 1.0
+            sleep(max(0.0, min(retry_after, MAX_RETRY_WAIT_S)))
+            last_error = f"daemon busy ({status})"
+            continue
+        raise DaemonClientError(
+            f"daemon returned {status}: {payload.strip()[:200]}"
+        )
+    raise DaemonClientError(last_error)  # pragma: no cover - loop always exits

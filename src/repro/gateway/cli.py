@@ -51,6 +51,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="TCP port for --serve (default: an ephemeral port)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --serve: pre-warmed lint workers (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="with --serve: max in-flight requests before 429",
+    )
     return parser
 
 
@@ -72,9 +86,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     gateway = Gateway(agent=agent)
 
     if args.serve:
+        # The served gateway is daemon-backed: warm per-options services
+        # and admission control, not a LintService rebuilt per request.
+        from repro.daemon.daemon import LintDaemon
         from repro.www.server import HTTPServer
 
-        with HTTPServer(web, port=args.port, gateway=gateway) as server:
+        daemon = LintDaemon(jobs=args.jobs, queue_limit=args.queue_limit).start()
+        gateway.service_provider = daemon.service_for
+        with HTTPServer(web, port=args.port, gateway=gateway, daemon=daemon) as server:
             sys.stdout.write(
                 f"weblint gateway listening on "
                 f"{server.base_url}/weblint (Ctrl-C to stop)\n"
@@ -87,6 +106,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     time.sleep(1)
             except KeyboardInterrupt:
                 pass
+            finally:
+                daemon.shutdown()
         return 0
     response = gateway.handle(parse_query_string(form_text.strip()))
     if args.no_header:

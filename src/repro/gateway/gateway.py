@@ -25,7 +25,7 @@ page-weight table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.config.options import Options, UnknownMessageError
 from repro.config.presets import apply_preset
@@ -88,9 +88,15 @@ class Gateway:
         self,
         agent: Optional[UserAgent] = None,
         reporter: Optional[HTMLReporter] = None,
+        service_provider: Optional[Callable[[Options], LintService]] = None,
     ) -> None:
         self.agent = agent
         self.reporter = reporter if reporter is not None else GatewayReporter()
+        #: Where this gateway's services come from.  The CGI mode builds
+        #: one per request (the paper's one-process-per-request shape);
+        #: a daemon passes ``daemon.service_for`` so repeat options hit
+        #: an already-warm service with compiled dispatch tables.
+        self.service_provider = service_provider
 
     # -- request handling -----------------------------------------------------------
 
@@ -108,7 +114,10 @@ class Gateway:
         except (UnknownMessageError, ValueError, KeyError) as exc:
             return self._error(400, f"Bad options: {exc}")
 
-        service = LintService(options=options)
+        if self.service_provider is not None:
+            service = self.service_provider(options)
+        else:
+            service = LintService(options=options)
         source_kind = sources[0]
         label = "pasted HTML"
         # keep_text=True shares the single fetch/read between linting and

@@ -97,10 +97,22 @@ def summarize_run(
         high_water = memory.get("max", memory.get("value", 0.0))
         if isinstance(high_water, (int, float)) and high_water > 0:
             record["report_high_water_kb"] = round(high_water / 1024.0, 1)
+    # Daemon lifetimes: served/rejected request counts and the warm
+    # request latency trio, so the sustained-QPS CI gate can diff two
+    # daemon runs like any other tool's.
+    requests = count("daemon.requests")
+    if requests or "daemon.requests" in snapshot:
+        record["requests"] = requests
+        record["rejected"] = count("daemon.rejected")
+        record.update(
+            _histogram_summary(snapshot, "daemon.request_ms", "request")
+        )
     if wall_s > 0:
         record["docs_per_s"] = round(documents / wall_s, 3)
         if pages:
             record["pages_per_s"] = round(pages / wall_s, 3)
+        if requests:
+            record["requests_per_s"] = round(requests / wall_s, 3)
     record.update(_histogram_summary(snapshot, "lint.check_ms", "lint"))
     record.update(_histogram_summary(snapshot, "robot.fetch.latency_ms", "fetch"))
     return record

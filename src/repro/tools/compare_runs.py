@@ -70,6 +70,11 @@ PORTABLE_DIRECTIONS = {
     # bounded rollup grew an unbounded appetite.
     "report_high_water_kb": "lower",
     "stream_high_water_ratio_10x": "lower",
+    # Daemon sustained-QPS gate: the driver sends a fixed request mix,
+    # so the served count must match exactly and nothing in that mix
+    # may start bouncing off the admission gate.
+    "requests": "exact",
+    "rejected": "lower",
 }
 
 

@@ -8,8 +8,13 @@ HTTP/1.0 server written on plain sockets, serving
 
 - the resources of a :class:`~repro.www.virtualweb.VirtualWeb`,
 - optionally the weblint gateway under a configurable path
-  (``/weblint`` by default), so ``GET /weblint?url=...`` returns a
-  report page, and
+  (``/weblint`` by default), so ``GET /weblint?url=...`` -- or a
+  ``POST`` with an urlencoded body -- returns a report page,
+- optionally a :class:`~repro.daemon.daemon.LintDaemon`: ``POST /lint``
+  speaks the JSON batch protocol on pre-warmed workers, ``/healthz``
+  reports liveness, and every daemon-backed route sits behind the
+  daemon's admission gate (429 + ``Retry-After`` when saturated, 503
+  while draining), and
 - the process's metrics registry in the OpenMetrics text exposition
   under ``/metrics`` (configurable; ``metrics_path=None`` disables it),
   so a Prometheus-style scraper -- or ``curl`` -- can watch a running
@@ -22,6 +27,7 @@ connectivity.
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 from typing import Optional
@@ -29,7 +35,7 @@ from typing import Optional
 from repro.www.message import Request, Response, reason_for
 from repro.www.virtualweb import VirtualWeb
 
-_MAX_REQUEST_BYTES = 64 * 1024
+_MAX_REQUEST_BYTES = 1024 * 1024
 
 
 class HTTPServer:
@@ -49,12 +55,18 @@ class HTTPServer:
         gateway=None,
         gateway_path: str = "/weblint",
         metrics_path: Optional[str] = "/metrics",
+        daemon=None,
+        lint_path: str = "/lint",
+        health_path: str = "/healthz",
     ) -> None:
         self.web = web
         self.host = host
         self.gateway = gateway
         self.gateway_path = gateway_path
         self.metrics_path = metrics_path
+        self.daemon = daemon
+        self.lint_path = lint_path
+        self.health_path = health_path
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._socket.bind((host, port))
@@ -62,7 +74,23 @@ class HTTPServer:
         self.port = self._socket.getsockname()[1]
         self._running = False
         self._thread: Optional[threading.Thread] = None
-        self.requests_served = 0
+        # Handler threads do the increment concurrently; the lock keeps
+        # the count exact (it is asserted, and exported as a gauge).
+        self._served_lock = threading.Lock()
+        self._requests_served = 0
+
+    @property
+    def requests_served(self) -> int:
+        with self._served_lock:
+            return self._requests_served
+
+    def _count_request(self) -> None:
+        with self._served_lock:
+            self._requests_served += 1
+            served = self._requests_served
+        from repro.obs.metrics import get_registry
+
+        get_registry().set_gauge("www.server.requests_served", served)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -128,17 +156,37 @@ class HTTPServer:
 
     @staticmethod
     def _read_request(connection: socket.socket) -> Optional[bytes]:
+        """Read one request: the head, then Content-Length body bytes.
+
+        The historical bug here stopped at the header boundary, so POST
+        form submissions silently lost their body.  Now the declared
+        body is read too, bounded by ``_MAX_REQUEST_BYTES`` overall so
+        a hostile Content-Length cannot balloon memory.
+        """
         data = b""
         while b"\r\n\r\n" not in data and b"\n\n" not in data:
             try:
-                chunk = connection.recv(4096)
+                chunk = connection.recv(65536)
             except OSError:
                 return None
             if not chunk:
                 break
             data += chunk
             if len(data) > _MAX_REQUEST_BYTES:
+                return data
+        header_end = _header_end(data)
+        if header_end is None:
+            return data or None
+        content_length = _declared_content_length(data[:header_end])
+        want = min(header_end + content_length, _MAX_REQUEST_BYTES)
+        while len(data) < want:
+            try:
+                chunk = connection.recv(65536)
+            except OSError:
                 break
+            if not chunk:
+                break
+            data += chunk
         return data or None
 
     # -- request handling ----------------------------------------------------------
@@ -148,8 +196,9 @@ class HTTPServer:
             method, target = self._parse_request_line(raw)
         except ValueError as exc:
             return _render(400, f"<h1>400 Bad Request</h1><p>{exc}</p>")
-        self.requests_served += 1
+        self._count_request()
 
+        headers, body = _split_head_body(raw)
         path, _, query = target.partition("?")
         if self.metrics_path is not None and path == self.metrics_path:
             from repro.obs.export import render_openmetrics
@@ -160,16 +209,12 @@ class HTTPServer:
                 content_type="text/plain; version=0.0.4",
                 include_body=method != "HEAD",
             )
+        if self.daemon is not None and path == self.health_path:
+            return self._respond_health(method)
+        if self.daemon is not None and path == self.lint_path:
+            return self._respond_lint(method, body)
         if self.gateway is not None and path == self.gateway_path:
-            from repro.gateway.forms import parse_query_string
-
-            gateway_response = self.gateway.handle(parse_query_string(query))
-            return _render(
-                gateway_response.status,
-                gateway_response.body,
-                content_type=gateway_response.content_type,
-                include_body=method != "HEAD",
-            )
+            return self._respond_gateway(method, query, headers, body)
 
         try:
             request = Request(method=method, url=f"{self.base_url}{target}")
@@ -177,6 +222,85 @@ class HTTPServer:
             return _render(405, "<h1>405 Method Not Allowed</h1>")
         response = self.web.handle(request)
         return _render_response(response, include_body=method != "HEAD")
+
+    def _respond_gateway(
+        self, method: str, query: str, headers: dict[str, str], body: bytes
+    ) -> bytes:
+        from repro.gateway.forms import parse_form, parse_query_string
+
+        form = parse_query_string(query)
+        if method == "POST" and body:
+            content_type = headers.get("content-type", "")
+            if (
+                not content_type
+                or "application/x-www-form-urlencoded" in content_type
+            ):
+                posted = parse_form(body.decode("utf-8", errors="replace"))
+                for name, values in posted.fields.items():
+                    for value in values:
+                        form.add(name, value)
+        if self.daemon is not None:
+            from repro.daemon.daemon import DaemonSaturated
+
+            try:
+                with self.daemon.admitted():
+                    gateway_response = self.gateway.handle(form)
+            except DaemonSaturated as exc:
+                return _render_saturated(exc)
+        else:
+            gateway_response = self.gateway.handle(form)
+        return _render(
+            gateway_response.status,
+            gateway_response.body,
+            content_type=gateway_response.content_type,
+            include_body=method != "HEAD",
+        )
+
+    def _respond_lint(self, method: str, body: bytes) -> bytes:
+        from repro.config.options import UnknownMessageError
+        from repro.daemon.daemon import DaemonSaturated, options_from_dict
+        from repro.daemon.protocol import (
+            ProtocolError,
+            decode_batch_request,
+            encode_batch_response,
+        )
+
+        if method != "POST":
+            return _render_json(405, {"error": "POST a JSON lint batch"})
+        try:
+            requests, raw_options = decode_batch_request(
+                body.decode("utf-8", errors="replace")
+            )
+            options = (
+                options_from_dict(self.daemon.options, raw_options)
+                if raw_options
+                else None
+            )
+        except (
+            ProtocolError, UnknownMessageError, ValueError, KeyError
+        ) as exc:
+            return _render_json(400, {"error": str(exc)})
+        try:
+            with self.daemon.admitted():
+                results = self.daemon.check_batch(requests, options=options)
+        except DaemonSaturated as exc:
+            return _render_saturated(exc, as_json=True)
+        return _render(
+            200, encode_batch_response(results), content_type="application/json"
+        )
+
+    def _respond_health(self, method: str) -> bytes:
+        daemon = self.daemon
+        return _render_json(
+            200,
+            {
+                "status": "draining" if daemon.draining else "ok",
+                "queue_depth": daemon.gate.depth,
+                "queue_limit": daemon.gate.limit,
+                "workers": daemon.jobs if daemon.pool is not None else 1,
+            },
+            include_body=method != "HEAD",
+        )
 
     @staticmethod
     def _parse_request_line(raw: bytes) -> tuple[str, str]:
@@ -194,22 +318,97 @@ class HTTPServer:
         return method.upper(), target
 
 
+def _header_end(data: bytes) -> Optional[int]:
+    """Offset just past the head/body separator, or None if not seen."""
+    candidates = []
+    for separator in (b"\r\n\r\n", b"\n\n"):
+        index = data.find(separator)
+        if index != -1:
+            candidates.append(index + len(separator))
+    return min(candidates) if candidates else None
+
+
+def _declared_content_length(head: bytes) -> int:
+    """The Content-Length a request head declares (0 when absent/bad)."""
+    for line in head.replace(b"\r\n", b"\n").split(b"\n")[1:]:
+        key, _, value = line.partition(b":")
+        if key.strip().lower() == b"content-length":
+            try:
+                return max(0, int(value.strip()))
+            except ValueError:
+                return 0
+    return 0
+
+
+def _split_head_body(raw: bytes) -> tuple[dict[str, str], bytes]:
+    """Lower-cased header dict plus the body bytes of one raw request."""
+    header_end = _header_end(raw)
+    if header_end is None:
+        head, body = raw, b""
+    else:
+        head, body = raw[:header_end], raw[header_end:]
+    headers: dict[str, str] = {}
+    for line in head.replace(b"\r\n", b"\n").split(b"\n")[1:]:
+        if not line.strip():
+            continue
+        key, sep, value = line.partition(b":")
+        if not sep:
+            continue
+        headers[key.strip().lower().decode("latin-1")] = value.strip().decode(
+            "latin-1", errors="replace"
+        )
+    content_length = _declared_content_length(head)
+    return headers, body[:content_length] if content_length else body
+
+
 def _render(
     status: int,
     body: str,
     content_type: str = "text/html",
     include_body: bool = True,
+    extra_headers: Optional[dict[str, str]] = None,
 ) -> bytes:
     payload = body.encode("utf-8")
-    head = (
-        f"HTTP/1.0 {status} {reason_for(status)}\r\n"
-        f"Content-Type: {content_type}; charset=utf-8\r\n"
-        f"Content-Length: {len(payload)}\r\n"
-        f"Server: weblint-repro/2.0\r\n"
-        f"Connection: close\r\n"
-        f"\r\n"
-    ).encode("latin-1")
+    lines = [
+        f"HTTP/1.0 {status} {reason_for(status)}",
+        f"Content-Type: {content_type}; charset=utf-8",
+        f"Content-Length: {len(payload)}",
+        "Server: weblint-repro/2.0",
+    ]
+    for key, value in (extra_headers or {}).items():
+        lines.append(f"{key}: {value}")
+    lines.append("Connection: close")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + (payload if include_body else b"")
+
+
+def _render_json(
+    status: int, payload: dict[str, object], include_body: bool = True
+) -> bytes:
+    return _render(
+        status,
+        json.dumps(payload),
+        content_type="application/json",
+        include_body=include_body,
+    )
+
+
+def _render_saturated(exc, as_json: bool = False) -> bytes:
+    """The backpressure response: 429 when full, 503 while draining."""
+    status = 503 if exc.draining else 429
+    headers = {"Retry-After": str(exc.retry_after_s)}
+    if as_json:
+        return _render(
+            status,
+            json.dumps({"error": str(exc), "retry_after": exc.retry_after_s}),
+            content_type="application/json",
+            extra_headers=headers,
+        )
+    return _render(
+        status,
+        f"<h1>{status} {reason_for(status)}</h1><p>{exc}</p>",
+        extra_headers=headers,
+    )
 
 
 def _render_response(response: Response, include_body: bool = True) -> bytes:
@@ -226,12 +425,18 @@ def _render_response(response: Response, include_body: bool = True) -> bytes:
     return head + (payload if include_body else b"")
 
 
-def http_get(url: str, timeout: float = 5.0) -> tuple[int, dict[str, str], str]:
-    """A minimal raw-socket HTTP/1.0 GET, for tests and examples.
+def _raw_request(
+    method: str,
+    url: str,
+    body: Optional[bytes] = None,
+    content_type: str = "application/json",
+    timeout: float = 5.0,
+) -> tuple[int, dict[str, str], str]:
+    """One raw-socket HTTP/1.0 exchange; ``(status, headers, body)``.
 
-    Returns ``(status, headers, body)``.  Only ``http://host:port/path``
-    URLs are supported -- this is deliberately the simplest client that
-    can exercise :class:`HTTPServer` end to end.
+    A malformed status line from the server raises a clean
+    :class:`ValueError` (historically this crashed with an IndexError
+    deep in the parsing).
     """
     from repro.www.url import urlparse
 
@@ -242,26 +447,61 @@ def http_get(url: str, timeout: float = 5.0) -> tuple[int, dict[str, str], str]:
     if parsed.query:
         target += "?" + parsed.query
 
+    lines = [
+        f"{method} {target} HTTP/1.0",
+        f"Host: {host}",
+        "User-Agent: repro-raw-client/1.0",
+    ]
+    if body is not None:
+        lines.append(f"Content-Type: {content_type}")
+        lines.append(f"Content-Length: {len(body)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
     with socket.create_connection((host, port), timeout=timeout) as connection:
-        request = (
-            f"GET {target} HTTP/1.0\r\n"
-            f"Host: {host}\r\n"
-            f"User-Agent: repro-raw-client/1.0\r\n"
-            f"\r\n"
-        )
-        connection.sendall(request.encode("latin-1"))
+        connection.sendall(head + (body or b""))
         data = b""
         while True:
-            chunk = connection.recv(4096)
+            chunk = connection.recv(65536)
             if not chunk:
                 break
             data += chunk
 
-    head, _, body = data.partition(b"\r\n\r\n")
-    head_lines = head.decode("latin-1").split("\r\n")
-    status = int(head_lines[0].split()[1])
+    head_bytes, _, payload = data.partition(b"\r\n\r\n")
+    head_lines = head_bytes.decode("latin-1").split("\r\n")
+    status_line = head_lines[0] if head_lines else ""
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ValueError(f"malformed status line: {status_line!r}")
+    status = int(parts[1])
     headers: dict[str, str] = {}
     for line in head_lines[1:]:
         key, _, value = line.partition(":")
         headers[key.strip().lower()] = value.strip()
-    return status, headers, body.decode("utf-8", errors="replace")
+    return status, headers, payload.decode("utf-8", errors="replace")
+
+
+def http_get(url: str, timeout: float = 5.0) -> tuple[int, dict[str, str], str]:
+    """A minimal raw-socket HTTP/1.0 GET, for tests and examples.
+
+    Returns ``(status, headers, body)``.  Only ``http://host:port/path``
+    URLs are supported -- this is deliberately the simplest client that
+    can exercise :class:`HTTPServer` end to end.  Raises ``ValueError``
+    when the server's status line is malformed.
+    """
+    return _raw_request("GET", url, timeout=timeout)
+
+
+def http_post(
+    url: str,
+    body: str,
+    content_type: str = "application/json",
+    timeout: float = 5.0,
+) -> tuple[int, dict[str, str], str]:
+    """Raw-socket HTTP/1.0 POST -- the client half of ``POST /lint``."""
+    return _raw_request(
+        "POST",
+        url,
+        body=body.encode("utf-8"),
+        content_type=content_type,
+        timeout=timeout,
+    )

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import socket
+import threading
+import time
 
 import pytest
 
 from repro.gateway.gateway import Gateway
-from repro.www.server import HTTPServer, http_get
+from repro.www.server import HTTPServer, http_get, http_post
 from repro.www.virtualweb import VirtualWeb
 from tests.conftest import PAPER_EXAMPLE, make_document
 
@@ -94,6 +96,83 @@ class TestHTTPServer:
             http_get(f"{server.base_url}/index.html")
             assert server.requests_served == 2
 
+    def test_requests_counted_exactly_under_concurrency(self, web):
+        """The requests_served counter is locked: N threads, exact total."""
+        per_thread, n_threads = 10, 8
+        with HTTPServer(web) as server:
+            _rebind(web, server)
+            errors: list[str] = []
+
+            def hammer() -> None:
+                for _ in range(per_thread):
+                    status, _headers, _body = http_get(
+                        f"{server.base_url}/index.html"
+                    )
+                    if status != 200:
+                        errors.append(f"status {status}")
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            assert server.requests_served == per_thread * n_threads
+
+    def test_post_body_read_to_content_length(self, web):
+        """A POST body that trickles in after the headers is still read
+        in full (Content-Length honoured -- the lost-body bugfix)."""
+        from repro.gateway.forms import percent_encode
+
+        gateway = Gateway()
+        body = f"html={percent_encode(PAPER_EXAMPLE)}".encode("utf-8")
+        with HTTPServer(web, gateway=gateway) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as connection:
+                head = (
+                    f"POST /weblint HTTP/1.0\r\n"
+                    f"Content-Type: application/x-www-form-urlencoded\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode("ascii")
+                # Headers first, then the body in two late pieces: the
+                # old reader stopped at the blank line and lost all this.
+                connection.sendall(head)
+                time.sleep(0.05)
+                connection.sendall(body[: len(body) // 2])
+                time.sleep(0.05)
+                connection.sendall(body[len(body) // 2 :])
+                chunks = []
+                while True:
+                    chunk = connection.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+        response = b"".join(chunks).decode("utf-8", "replace")
+        assert response.startswith("HTTP/1.0 200")
+        assert "odd number of quotes" in response
+
+    def test_oversized_post_body_truncated_not_hung(self, web):
+        """A Content-Length beyond the cap cannot stall the handler."""
+        gateway = Gateway()
+        with HTTPServer(web, gateway=gateway) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as connection:
+                connection.sendall(
+                    b"POST /weblint HTTP/1.0\r\n"
+                    b"Content-Type: application/x-www-form-urlencoded\r\n"
+                    b"Content-Length: 99999999\r\n\r\n"
+                    b"html=%3Cp%3E"
+                )
+                connection.shutdown(socket.SHUT_WR)
+                data = connection.recv(65536)
+        # The handler answered (whatever the status) instead of waiting
+        # forever for 100MB that never comes.
+        assert data.startswith(b"HTTP/1.0 ")
+
 
 class TestGatewayOverTCP:
     """The 'standard gateway distribution' of section 4.6, end to end."""
@@ -123,3 +202,48 @@ class TestGatewayOverTCP:
                 f"{server.base_url}/check?html=%3Cp%3Ex%3C%2Fp%3E"
             )
         assert status == 200
+
+
+class TestHTTPClient:
+    """The in-repo client half: clean errors, not tracebacks."""
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"garbage\r\n\r\n",
+            b"\r\n\r\n",
+            b"HTTP/1.0 OK\r\n\r\n",
+        ],
+    )
+    def test_malformed_status_line_raises_value_error(self, raw):
+        """A junk status line is a ValueError, not an IndexError."""
+
+        def serve_once(listener: socket.socket) -> None:
+            connection, _addr = listener.accept()
+            with connection:
+                connection.recv(65536)
+                connection.sendall(raw)
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        thread = threading.Thread(target=serve_once, args=(listener,))
+        thread.start()
+        try:
+            with pytest.raises(ValueError, match="malformed status line"):
+                http_get(f"http://127.0.0.1:{port}/x")
+        finally:
+            thread.join(timeout=10)
+            listener.close()
+
+    def test_http_post_round_trips(self, web):
+        gateway = Gateway()
+        with HTTPServer(web, gateway=gateway) as server:
+            status, headers, body = http_post(
+                f"{server.base_url}/weblint",
+                "html=%3Cp%3Ehello",
+                content_type="application/x-www-form-urlencoded",
+            )
+        assert status == 200
+        assert int(headers["content-length"]) == len(body.encode("utf-8"))
