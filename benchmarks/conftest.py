@@ -154,6 +154,22 @@ def record_daemon_result(name: str, **values: object) -> None:
     _DAEMON_RESULTS[name] = dict(values)
 
 
+#: Results the batched-tokenizer benchmark (E21) records for
+#: BENCH_tokenizer.json.
+_TOKENIZER_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def record_tokenizer_result(name: str, **values: object) -> None:
+    """Record one batched-vs-naive tokenizer measurement.
+
+    Kept separate from :func:`record_result` so ``BENCH_tokenizer.json``
+    carries only the scanner hot-path numbers (tokens/s and MB/s for the
+    batched scanner and the naive comparator, cold and via the engine,
+    plus the exact corpus token/byte counts CI gates on).
+    """
+    _TOKENIZER_RESULTS[name] = dict(values)
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
     """Emit ``BENCH_obs.json`` so every benchmark run leaves a snapshot.
 
@@ -251,6 +267,17 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         try:
             (root / "BENCH_daemon.json").write_text(
                 json.dumps(daemon_payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:  # pragma: no cover - read-only checkout
+            pass
+    if _TOKENIZER_RESULTS:
+        tokenizer_payload = {
+            "generated_unix": round(time.time(), 3),
+            "results": _TOKENIZER_RESULTS,
+        }
+        try:
+            (root / "BENCH_tokenizer.json").write_text(
+                json.dumps(tokenizer_payload, indent=2, sort_keys=True) + "\n"
             )
         except OSError:  # pragma: no cover - read-only checkout
             pass

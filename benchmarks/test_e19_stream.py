@@ -56,8 +56,14 @@ from conftest import print_table, record_stream_result
 SIZES = (50, 500, 5000) if os.environ.get("E19_FULL") else (50, 500)
 
 #: The streaming high-water at SIZES[1] must stay within this factor
-#: of the high-water at SIZES[0] (measured ~1.42 at 10x growth).
-MAX_STREAM_GROWTH = 1.5
+#: of the high-water at SIZES[0].  Measured ~1.42 at 10x growth before
+#: the batched-tokenizer PR; the slots tokens then cut the *absolute*
+#: high-water at every size but shrank the small-site base more than
+#: the large-site peak (288 vs 382 KB at 50 pages, 489 vs 553 KB at
+#: 500), so the ratio settled ~1.70.  The gate exists to catch the
+#: rollup growing an O(pages) appetite -- that failure mode lands at
+#: 3x+ like the buffered regime -- not to pin the transient floor.
+MAX_STREAM_GROWTH = 2.0
 
 #: Page shape: substantial pages (the per-page lint transient is the
 #: memory floor both regimes share) with no generated images, so every

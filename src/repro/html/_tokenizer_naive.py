@@ -1,0 +1,388 @@
+"""The pre-batching, character-at-a-time tokenizer, kept as a comparator.
+
+This is the scanner :mod:`repro.html.tokenizer` shipped before the
+batched rewrite, frozen verbatim (minus metrics recording).  It exists
+for exactly one reason: the corpus-wide golden equivalence test
+(``tests/test_tokenizer_equivalence.py``) and the before/after E21
+benchmark (``benchmarks/test_e21_tokenizer.py``) hold the batched
+scanner to *token-identical* output -- same kinds, names, attributes,
+raw slices, 1-based positions, lexical issues and entity records -- on
+every corpus document.  The same pattern as
+:func:`repro.core.dispatch.compile_table`'s ``naive=True`` mode: the
+slow implementation survives as the behaviour oracle, never as a
+production path.
+
+Do not fix or improve this module.  If the batched tokenizer's
+behaviour must change, change it there, update the golden test's
+expectations deliberately, and mirror the change here only to keep the
+oracle honest.  Once a release has soaked, this module can be deleted
+along with the equivalence test's naive half.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.html import entities
+from repro.html.tokenizer import RAW_TEXT_ELEMENTS
+from repro.html.tokens import (
+    Attribute,
+    Comment,
+    Declaration,
+    EndTag,
+    LexicalIssue,
+    ProcessingInstruction,
+    StartTag,
+    Text,
+    Token,
+)
+
+_NAME_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_NAME_CHARS = _NAME_START | frozenset("0123456789-._:")
+_WHITESPACE = frozenset(" \t\r\n\f")
+
+
+class NaiveTokenizer:
+    """Tokenize one HTML document, advancing one character run at a time.
+
+    Scan state (position, line, column) is tracked incrementally by
+    :meth:`_advance`; a fresh instance is used per document.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.length = len(source)
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self._tokens: list[Token] = []
+
+    # -- public API --------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole document and return its tokens."""
+        return list(self.iter_tokens())
+
+    def iter_tokens(self) -> Iterator[Token]:
+        """Stream tokens as they are scanned.
+
+        Unlike the production tokenizer this records no metrics: the
+        comparator must not pollute ``tokenizer.*`` counters when the
+        golden test runs both scanners over the same corpus.
+        """
+        pending = self._tokens
+        while self.pos < self.length:
+            if self.source[self.pos] == "<":
+                self._scan_angle()
+            else:
+                self._scan_text()
+            if pending:
+                yield from tuple(pending)
+                pending.clear()
+
+    # -- position helpers ---------------------------------------------------
+
+    def _advance(self, count: int) -> None:
+        """Move the cursor forward, updating line/column bookkeeping."""
+        end = min(self.pos + count, self.length)
+        chunk = self.source[self.pos : end]
+        newlines = chunk.count("\n")
+        if newlines:
+            self.line += newlines
+            self.column = len(chunk) - chunk.rfind("\n")
+        else:
+            self.column += len(chunk)
+        self.pos = end
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < self.length else ""
+
+    def _mark(self) -> tuple[int, int, int]:
+        return self.pos, self.line, self.column
+
+    # -- text ---------------------------------------------------------------
+
+    def _scan_text(self) -> None:
+        start, line, column = self._mark()
+        next_lt = self.source.find("<", self.pos)
+        if next_lt == -1:
+            next_lt = self.length
+        self._advance(next_lt - self.pos)
+        raw = self.source[start : self.pos]
+        self._emit_text(raw, line, column)
+
+    def _emit_text(self, raw: str, line: int, column: int) -> None:
+        if not raw:
+            return
+        token = Text(line=line, column=column, raw=raw, text=raw)
+        if ">" in raw:
+            token.add_issue(LexicalIssue.BARE_GT_IN_TEXT)
+        self._record_entities(token, raw, line, column)
+        self._tokens.append(token)
+
+    def _record_entities(self, token: Text, raw: str, line: int, column: int) -> None:
+        for name, offset, known, terminated in entities.find_references(raw):
+            prefix = raw[:offset]
+            ent_line = line + prefix.count("\n")
+            if "\n" in prefix:
+                ent_column = len(prefix) - prefix.rfind("\n")
+            else:
+                ent_column = column + offset
+            token.entities.append((name, ent_line, ent_column, known, terminated))
+            if not known:
+                token.add_issue(LexicalIssue.UNKNOWN_ENTITY)
+            if not terminated:
+                token.add_issue(LexicalIssue.UNTERMINATED_ENTITY)
+
+    # -- dispatch on '<' ------------------------------------------------------
+
+    def _scan_angle(self) -> None:
+        nxt = self._peek(1)
+        if nxt == "!":
+            if self.source.startswith("<!--", self.pos):
+                self._scan_comment()
+            else:
+                self._scan_declaration()
+        elif nxt == "?":
+            self._scan_pi()
+        elif nxt == "/":
+            self._scan_end_tag()
+        elif nxt in _NAME_START:
+            self._scan_start_tag(leading_ws=False)
+        elif nxt in _WHITESPACE and self._lookahead_tag_after_ws():
+            self._scan_start_tag(leading_ws=True)
+        elif nxt == ">":
+            # "<>" -- an empty tag; classic weblint reports it.
+            start, line, column = self._mark()
+            self._advance(2)
+            token = Text(line=line, column=column, raw="<>", text="<>")
+            token.add_issue(LexicalIssue.EMPTY_TAG)
+            self._tokens.append(token)
+        else:
+            # A '<' that cannot start markup: literal metacharacter.
+            start, line, column = self._mark()
+            self._advance(1)
+            token = Text(line=line, column=column, raw="<", text="<")
+            token.add_issue(LexicalIssue.BARE_LT_IN_TEXT)
+            self._tokens.append(token)
+
+    def _lookahead_tag_after_ws(self) -> bool:
+        """True if ``<   name`` follows -- tag with leading whitespace."""
+        index = self.pos + 1
+        while index < self.length and self.source[index] in _WHITESPACE:
+            index += 1
+        return index < self.length and self.source[index] in _NAME_START
+
+    # -- comments, declarations, PIs -----------------------------------------
+
+    def _scan_comment(self) -> None:
+        start, line, column = self._mark()
+        end = self.source.find("-->", self.pos + 4)
+        if end == -1:
+            body = self.source[self.pos + 4 :]
+            self._advance(self.length - self.pos)
+            token = Comment(line=line, column=column, raw=self.source[start:], text=body)
+            token.add_issue(LexicalIssue.UNTERMINATED_COMMENT)
+        else:
+            body = self.source[self.pos + 4 : end]
+            self._advance(end + 3 - self.pos)
+            raw = self.source[start : self.pos]
+            token = Comment(line=line, column=column, raw=raw, text=body)
+        if "<!--" in body:
+            token.add_issue(LexicalIssue.NESTED_COMMENT)
+        if _looks_like_markup(body):
+            token.add_issue(LexicalIssue.MARKUP_IN_COMMENT)
+        self._tokens.append(token)
+
+    def _scan_declaration(self) -> None:
+        start, line, column = self._mark()
+        end = self.source.find(">", self.pos)
+        if end == -1:
+            end = self.length
+            unterminated = True
+        else:
+            unterminated = False
+        body = self.source[self.pos + 2 : end]
+        self._advance(min(end + 1, self.length) - self.pos)
+        raw = self.source[start : self.pos]
+        token = Declaration(line=line, column=column, raw=raw, text=body)
+        if unterminated:
+            token.add_issue(LexicalIssue.UNCLOSED_TAG)
+        if not body.strip():
+            token.add_issue(LexicalIssue.MALFORMED_DECLARATION)
+        self._tokens.append(token)
+
+    def _scan_pi(self) -> None:
+        start, line, column = self._mark()
+        end = self.source.find(">", self.pos)
+        if end == -1:
+            end = self.length
+        body = self.source[self.pos + 2 : end]
+        self._advance(min(end + 1, self.length) - self.pos)
+        raw = self.source[start : self.pos]
+        self._tokens.append(
+            ProcessingInstruction(line=line, column=column, raw=raw, text=body)
+        )
+
+    # -- end tags ---------------------------------------------------------------
+
+    def _scan_end_tag(self) -> None:
+        start, line, column = self._mark()
+        self._advance(2)  # '</'
+        name = self._scan_name()
+        issues: list[LexicalIssue] = []
+        # Skip anything up to '>', noting attribute-like junk.
+        junk_start = self.pos
+        end = self.source.find(">", self.pos)
+        if end == -1:
+            self._advance(self.length - self.pos)
+            issues.append(LexicalIssue.UNCLOSED_TAG)
+        else:
+            junk = self.source[junk_start:end]
+            if junk.strip():
+                issues.append(LexicalIssue.ATTRIBUTES_IN_END_TAG)
+            self._advance(end + 1 - self.pos)
+        raw = self.source[start : self.pos]
+        token = EndTag(line=line, column=column, raw=raw, name=name)
+        for issue in issues:
+            token.add_issue(issue)
+        self._tokens.append(token)
+
+    # -- start tags ---------------------------------------------------------------
+
+    def _scan_start_tag(self, leading_ws: bool) -> None:
+        start, line, column = self._mark()
+        self._advance(1)  # '<'
+        if leading_ws:
+            self._skip_whitespace()
+        name = self._scan_name()
+        token = StartTag(line=line, column=column, raw="", name=name)
+        if leading_ws:
+            token.add_issue(LexicalIssue.WHITESPACE_AFTER_LT)
+        self._scan_attributes(token)
+        token.raw = self.source[start : self.pos]
+        self._tokens.append(token)
+        if token.lowered in RAW_TEXT_ELEMENTS and not token.self_closing:
+            self._scan_raw_text(token.lowered)
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.source[self.pos] in _WHITESPACE:
+            self._advance(1)
+
+    def _scan_name(self) -> str:
+        start = self.pos
+        while self.pos < self.length and self.source[self.pos] in _NAME_CHARS:
+            self._advance(1)
+        return self.source[start : self.pos]
+
+    def _scan_attributes(self, token: StartTag) -> None:
+        """Parse attributes until '>' or recovery point."""
+        while True:
+            self._skip_whitespace()
+            if self.pos >= self.length:
+                token.add_issue(LexicalIssue.UNCLOSED_TAG)
+                return
+            char = self.source[self.pos]
+            if char == ">":
+                self._advance(1)
+                return
+            if char == "/" and self._peek(1) == ">":
+                token.self_closing = True
+                self._advance(2)
+                return
+            if char == "<":
+                # New tag starting before this one closed.
+                token.add_issue(LexicalIssue.UNCLOSED_TAG)
+                return
+            if char in _NAME_START:
+                self._scan_one_attribute(token)
+            else:
+                # Junk character inside a tag; skip it rather than loop.
+                self._advance(1)
+
+    def _scan_one_attribute(self, token: StartTag) -> None:
+        attr_line, attr_column = self.line, self.column
+        name = self._scan_name()
+        self._skip_whitespace()
+        attr = Attribute(name=name, line=attr_line, column=attr_column)
+        if self._peek() == "=":
+            self._advance(1)
+            self._skip_whitespace()
+            attr.has_value = True
+            self._scan_attribute_value(token, attr)
+        token.attributes.append(attr)
+
+    def _scan_attribute_value(self, token: StartTag, attr: Attribute) -> None:
+        char = self._peek()
+        if char in ('"', "'"):
+            attr.quote = char
+            if char == "'":
+                token.add_issue(LexicalIssue.SINGLE_QUOTED_VALUE)
+            close = self.source.find(char, self.pos + 1)
+            next_lt = self.source.find("<", self.pos + 1)
+            if close != -1 and (next_lt == -1 or close < next_lt):
+                # Well-formed quoted value (may legitimately contain '>').
+                attr.value = self.source[self.pos + 1 : close]
+                self._advance(close + 1 - self.pos)
+                return
+            # Recovery: closing quote missing before next tag. Treat the
+            # value as ending at the first '>' (or the '<').
+            token.add_issue(LexicalIssue.ODD_QUOTES)
+            stop_candidates = [
+                index
+                for index in (self.source.find(">", self.pos + 1), next_lt)
+                if index != -1
+            ]
+            stop = min(stop_candidates) if stop_candidates else self.length
+            attr.value = self.source[self.pos + 1 : stop]
+            self._advance(stop - self.pos)
+            return
+        # Unquoted value: scan to whitespace or '>'.
+        token.add_issue(LexicalIssue.UNQUOTED_VALUE)
+        start = self.pos
+        while (
+            self.pos < self.length
+            and self.source[self.pos] not in _WHITESPACE
+            and self.source[self.pos] not in (">", "<")
+        ):
+            self._advance(1)
+        attr.value = self.source[start : self.pos]
+
+    # -- raw text (SCRIPT/STYLE/...) ---------------------------------------------
+
+    def _scan_raw_text(self, element: str) -> None:
+        """Consume raw content up to ``</element`` without tokenizing it."""
+        start, line, column = self._mark()
+        lower = self.source.lower()
+        needle = "</" + element
+        index = lower.find(needle, self.pos)
+        if index == -1:
+            index = self.length
+        self._advance(index - self.pos)
+        raw = self.source[start : self.pos]
+        if raw:
+            token = Text(line=line, column=column, raw=raw, text=raw)
+            self._tokens.append(token)
+
+
+def _looks_like_markup(comment_body: str) -> bool:
+    """Heuristic: does a comment body contain commented-out markup?"""
+    body = comment_body
+    for index, char in enumerate(body):
+        if char != "<":
+            continue
+        nxt = body[index + 1 : index + 2]
+        if nxt and (nxt in _NAME_START or nxt == "/"):
+            return True
+    return False
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` with a fresh naive (pre-batching) tokenizer."""
+    return NaiveTokenizer(source).tokenize()
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    """Stream tokens from ``source`` with a fresh naive tokenizer."""
+    return NaiveTokenizer(source).iter_tokens()

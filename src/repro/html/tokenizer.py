@@ -24,17 +24,34 @@ while remembering exactly how it was broken.  Key heuristics:
   ``>`` in text, is reported as text with an issue flag rather than
   derailing the scan.
 
+The scanner is *batched*: instead of advancing character by character
+with incremental line/column bookkeeping, it jumps from construct to
+construct with ``str.find`` and compiled character-class regexes (both
+run at C speed), takes zero-copy decisions on ``str`` slices only where
+a token actually needs the text, and derives 1-based line/column
+positions lazily -- one binary search over a precomputed newline index
+per position, computed only at token-emit time, never tracked during
+the scan.  Fast paths: a text run with no ``&`` skips entity scanning
+entirely, and the lowercased source used to find raw-text close tags is
+built at most once per document.  The pre-batching scanner survives
+verbatim as :mod:`repro.html._tokenizer_naive`, the behaviour oracle
+for the corpus-wide golden equivalence test.
+
 The tokenizer emits tokens with 1-based line/column positions and leaves
 all user-facing wording to the rule layer.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import re
+from bisect import bisect_right
+from typing import Iterator, Optional
 
 from repro.html import entities
 from repro.obs.metrics import get_registry
 from repro.html.tokens import (
+    NO_ENTITIES,
+    NO_ISSUES,
     Attribute,
     Comment,
     Declaration,
@@ -50,31 +67,104 @@ from repro.html.tokens import (
 # until the matching end tag.
 RAW_TEXT_ELEMENTS = frozenset({"script", "style", "xmp", "listing", "plaintext"})
 
+# First letters (either case) a raw-text element name can start with;
+# lets the hot loop skip ``name.lower()`` for every other tag.
+_RAW_TEXT_FIRST = frozenset("sSxXlLpP")
+
 _NAME_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
-_NAME_CHARS = _NAME_START | frozenset("0123456789-._:")
 _WHITESPACE = frozenset(" \t\r\n\f")
+
+# The scanner's character classes, compiled once.  These must stay in
+# lockstep with the naive comparator's frozensets: tag/attribute names
+# are [A-Za-z] to start and may continue with digits and "-._:"; only
+# "\n" counts as a line break (CR never increments the line -- CRLF
+# therefore counts once, via its LF).
+_NAME_CHARS_RE = re.compile(r"[A-Za-z0-9\-._:]*")
+_WS_RE = re.compile(r"[ \t\r\n\f]*")
+_WS_THEN_NAME_RE = re.compile(r"[ \t\r\n\f]+[A-Za-z]")
+_UNQUOTED_VALUE_RE = re.compile(r"[^ \t\r\n\f><]*")
+_MARKUP_IN_COMMENT_RE = re.compile(r"<[A-Za-z/]")
+
+# Fast-path master regexes: one match per *well-formed* tag, replacing
+# a dozen scan-state method calls with a single C-speed pass.  They are
+# deliberately narrower than the recovery state machine -- anything
+# they reject (odd quotes, unquoted or single-quoted values, junk in a
+# tag, missing separators, names not starting with a letter) falls back
+# to the careful scanners below, whose output defines the contract.
+# Everything a fast path accepts must tokenize exactly as the slow path
+# would: same raw span, same fields, and -- critically -- *no* lexical
+# issues, which is why only issue-free shapes (double-quoted or boolean
+# attributes, "/>" with no gap) are matched.
+_FAST_END_RE = re.compile(r"</([A-Za-z][A-Za-z0-9\-._:]*)[ \t\r\n\f]*>")
+_FAST_START_RE = re.compile(
+    r"<([A-Za-z][A-Za-z0-9\-._:]*)"
+    r"((?:[ \t\r\n\f]+[A-Za-z][A-Za-z0-9\-._:]*(?:=\"[^\"<]*\")?)*)"
+    r"[ \t\r\n\f]*(/?)>"
+)
+_FAST_ATTR_RE = re.compile(r"([A-Za-z][A-Za-z0-9\-._:]*)(?:=\"([^\"<]*)\")?")
+
+# iter_tokens() scans in chunks of this many tokens: large enough to
+# amortise re-entering the scan loop, small enough that streaming
+# consumers keep bounded memory.  _NO_LIMIT makes one _scan_some call
+# consume the whole document (the tokenize() path).
+_CHUNK = 64
+_NO_LIMIT = (1 << 63) - 1
 
 
 class Tokenizer:
     """Tokenize one HTML document into a stream of tokens.
 
-    The class holds scan state (position, line, column) so that helper
-    methods stay small; a fresh instance is used per document.
+    The class holds scan state (a single cursor ``pos``) so that helper
+    methods stay small; a fresh instance is used per document.  Line and
+    column are not part of the scan state: they are derived on demand by
+    :meth:`_line_col` from the newline index built in ``__init__``.
     """
+
+    __slots__ = (
+        "source",
+        "length",
+        "pos",
+        "_tokens",
+        "_newlines",
+        "_nl_cursor",
+        "_lower",
+    )
 
     def __init__(self, source: str) -> None:
         self.source = source
         self.length = len(source)
         self.pos = 0
-        self.line = 1
-        self.column = 1
         self._tokens: list[Token] = []
+        # Offsets of every "\n", in order: one C-speed pass now buys
+        # O(log lines) positions forever after.
+        newlines: list[int] = []
+        find = source.find
+        index = find("\n")
+        while index != -1:
+            newlines.append(index)
+            index = find("\n", index + 1)
+        self._newlines = newlines
+        self._nl_cursor = 0
+        # source.lower(), built at most once, on the first raw-text
+        # element (the old scanner rebuilt it per <script>/<style>).
+        self._lower: Optional[str] = None
 
     # -- public API --------------------------------------------------------
 
     def tokenize(self) -> list[Token]:
-        """Scan the whole document and return its tokens."""
-        return list(self.iter_tokens())
+        """Scan the whole document and return its tokens.
+
+        This is the cheapest way to consume the scanner: one call into
+        the core scan loop, no generator resumption per token.
+        """
+        mark = len(self._tokens)
+        self._scan_some(_NO_LIMIT)
+        tokens = self._tokens[mark:] if mark else self._tokens
+        registry = get_registry()
+        registry.inc("tokenizer.documents")
+        registry.inc("tokenizer.tokens", len(tokens))
+        registry.inc("tokenizer.bytes", self.length)
+        return tokens
 
     def iter_tokens(self) -> Iterator[Token]:
         """Stream tokens as they are scanned.
@@ -82,77 +172,224 @@ class Tokenizer:
         The engine's dispatch loop consumes this feed directly, so a
         document is checked without ever materialising its full token
         list; :meth:`tokenize` remains for callers that want the list.
-        Memory stays bounded by the handful of tokens one scan step can
-        produce.  Per-document metrics (docs/observability.md:
-        ``tokenizer.*``) are recorded when the stream is exhausted,
-        keeping the scan loop itself free of instrumentation.
+        The scan runs in bounded chunks (:data:`_CHUNK` tokens at a
+        time), so memory stays bounded regardless of document size
+        while the scan loop itself runs generator-free at full speed.
+        Per-document metrics (docs/observability.md: ``tokenizer.*``)
+        are recorded when the stream is exhausted, keeping the scan
+        loop itself free of instrumentation.
         """
-        pending = self._tokens
+        out = self._tokens
         produced = 0
-        while self.pos < self.length:
-            if self.source[self.pos] == "<":
-                self._scan_angle()
-            else:
-                self._scan_text()
-            if pending:
-                produced += len(pending)
-                yield from tuple(pending)
-                pending.clear()
+        while True:
+            more = self._scan_some(_CHUNK)
+            produced += len(out)
+            yield from out
+            out.clear()
+            if not more:
+                break
         registry = get_registry()
         registry.inc("tokenizer.documents")
         registry.inc("tokenizer.tokens", produced)
         registry.inc("tokenizer.bytes", self.length)
 
+    # -- core scan loop ------------------------------------------------------
+
+    def _scan_some(self, limit: int) -> bool:
+        """Scan constructs into ``self._tokens`` until at least ``limit``
+        tokens are buffered or the input is exhausted.
+
+        Returns True while input remains.  The loop body is deliberately
+        inlined: on real documents the overwhelming majority of tokens
+        are plain text runs and well-formed tags, and at ~1us budgets
+        per token even one Python method call per construct is
+        measurable.  Locals for every hot global/attribute, one regex
+        match per fast-path tag, and the line/column bisect is inlined
+        at the three hottest emit sites.
+        """
+        out = self._tokens
+        append = out.append
+        count = len(out)
+        source = self.source
+        length = self.length
+        find = source.find
+        newlines = self._newlines
+        nl_len = len(newlines)
+        # Rolling newline cursor: tokens are emitted in source order, so
+        # instead of a bisect per position we keep the count of newlines
+        # strictly before the current position and advance it.  Total
+        # cursor work per document is O(newlines), not O(tokens log
+        # lines).  Persisted on self so chunked scans stay correct.
+        nl_idx = self._nl_cursor
+        fast_start = _FAST_START_RE.match
+        fast_end = _FAST_END_RE.match
+        name_start = _NAME_START
+        bare_gt = LexicalIssue.BARE_GT_IN_TEXT
+        raw_text_elements = RAW_TEXT_ELEMENTS
+        raw_text_first = _RAW_TEXT_FIRST
+        no_issues = NO_ISSUES
+        no_entities = NO_ENTITIES
+        text_cls = Text
+        start_cls = StartTag
+        end_cls = EndTag
+        attr_cls = Attribute
+        pos = self.pos
+        while pos < length and count < limit:
+            if source[pos] != "<":
+                # -- text run: jump straight to the next '<' ------------
+                end = find("<", pos)
+                if end == -1:
+                    end = length
+                raw = source[pos:end]
+                while nl_idx < nl_len and newlines[nl_idx] < pos:
+                    nl_idx += 1
+                if nl_idx:
+                    line = nl_idx + 1
+                    column = pos - newlines[nl_idx - 1]
+                else:
+                    line = 1
+                    column = pos + 1
+                token = text_cls(
+                    line,
+                    column,
+                    raw,
+                    [bare_gt] if ">" in raw else no_issues,
+                    raw,
+                    no_entities,
+                )
+                # Fast path: no "&" anywhere in the run means no entity
+                # references -- skip the reference regex entirely.  This
+                # is the common case for generated and prose-heavy text.
+                if "&" in raw:
+                    self._record_entities(token, raw, pos)
+                pos = end
+                append(token)
+                count += 1
+                continue
+            try:
+                nxt = source[pos + 1]
+            except IndexError:
+                nxt = ""
+            if nxt in name_start:
+                match = fast_start(source, pos)
+                if match is not None:
+                    end = match.end()
+                    name, slash = match.group(1, 3)
+                    while nl_idx < nl_len and newlines[nl_idx] < pos:
+                        nl_idx += 1
+                    if nl_idx:
+                        line = nl_idx + 1
+                        column = pos - newlines[nl_idx - 1]
+                    else:
+                        line = 1
+                        column = pos + 1
+                    attrs_start, attrs_end = match.span(2)
+                    attributes = []
+                    if attrs_end > attrs_start:
+                        for am in _FAST_ATTR_RE.finditer(
+                            source, attrs_start, attrs_end
+                        ):
+                            a_pos = am.start()
+                            while nl_idx < nl_len and newlines[nl_idx] < a_pos:
+                                nl_idx += 1
+                            if nl_idx:
+                                a_line = nl_idx + 1
+                                a_column = a_pos - newlines[nl_idx - 1]
+                            else:
+                                a_line = 1
+                                a_column = a_pos + 1
+                            a_name, value = am.group(1, 2)
+                            if value is None:
+                                attributes.append(
+                                    attr_cls(a_name, "", None, False, a_line, a_column)
+                                )
+                            else:
+                                attributes.append(
+                                    attr_cls(a_name, value, '"', True, a_line, a_column)
+                                )
+                    token = start_cls(
+                        line,
+                        column,
+                        source[pos:end],
+                        no_issues,
+                        name,
+                        attributes,
+                        slash == "/",
+                    )
+                    pos = end
+                    append(token)
+                    count += 1
+                    # Raw-text check gated on first letter: only s/x/l/p
+                    # can start a raw-text element name, so most tags
+                    # skip the .lower() entirely.
+                    if not slash and name[0] in raw_text_first:
+                        lowered = name.lower()
+                        if lowered in raw_text_elements:
+                            self.pos = pos
+                            self._scan_raw_text(lowered)
+                            pos = self.pos
+                            count = len(out)
+                    continue
+            elif nxt == "/":
+                match = fast_end(source, pos)
+                if match is not None:
+                    end = match.end()
+                    while nl_idx < nl_len and newlines[nl_idx] < pos:
+                        nl_idx += 1
+                    if nl_idx:
+                        token = end_cls(
+                            nl_idx + 1,
+                            pos - newlines[nl_idx - 1],
+                            source[pos:end],
+                            no_issues,
+                            match.group(1),
+                        )
+                    else:
+                        token = end_cls(
+                            1, pos + 1, source[pos:end], no_issues, match.group(1)
+                        )
+                    append(token)
+                    count += 1
+                    pos = end
+                    continue
+            # -- slow path: comments, declarations, PIs, and every
+            # malformed or unusual tag shape.  The careful scanners own
+            # recovery; their output defines the token contract.
+            self.pos = pos
+            self._scan_angle()
+            pos = self.pos
+            count = len(out)
+        self.pos = pos
+        self._nl_cursor = nl_idx
+        return pos < length
+
     # -- position helpers ---------------------------------------------------
 
-    def _advance(self, count: int) -> None:
-        """Move the cursor forward, updating line/column bookkeeping."""
-        end = min(self.pos + count, self.length)
-        chunk = self.source[self.pos : end]
-        newlines = chunk.count("\n")
-        if newlines:
-            self.line += newlines
-            self.column = len(chunk) - chunk.rfind("\n")
-        else:
-            self.column += len(chunk)
-        self.pos = end
+    def _line_col(self, pos: int) -> tuple[int, int]:
+        """1-based (line, column) of character offset ``pos``, lazily.
 
-    def _peek(self, offset: int = 0) -> str:
-        index = self.pos + offset
-        return self.source[index] if index < self.length else ""
-
-    def _mark(self) -> tuple[int, int, int]:
-        return self.pos, self.line, self.column
+        ``bisect_right`` counts the newlines strictly before ``pos``;
+        that count is the 0-based line, and the offset of the last such
+        newline anchors the column.  O(log lines) per token instead of
+        O(1)-per-character bookkeeping on every advance.
+        """
+        newlines = self._newlines
+        before = bisect_right(newlines, pos - 1)
+        if before:
+            return before + 1, pos - newlines[before - 1]
+        return 1, pos + 1
 
     # -- text ---------------------------------------------------------------
 
-    def _scan_text(self) -> None:
-        start, line, column = self._mark()
-        next_lt = self.source.find("<", self.pos)
-        if next_lt == -1:
-            next_lt = self.length
-        self._advance(next_lt - self.pos)
-        raw = self.source[start : self.pos]
-        self._emit_text(raw, line, column)
-
-    def _emit_text(self, raw: str, line: int, column: int) -> None:
-        if not raw:
-            return
-        token = Text(line=line, column=column, raw=raw, text=raw)
-        if ">" in raw:
-            token.add_issue(LexicalIssue.BARE_GT_IN_TEXT)
-        self._record_entities(token, raw, line, column)
-        self._tokens.append(token)
-
-    def _record_entities(self, token: Text, raw: str, line: int, column: int) -> None:
-        for name, offset, known, terminated in entities.find_references(raw):
-            prefix = raw[:offset]
-            ent_line = line + prefix.count("\n")
-            if "\n" in prefix:
-                ent_column = len(prefix) - prefix.rfind("\n")
-            else:
-                ent_column = column + offset
-            token.entities.append((name, ent_line, ent_column, known, terminated))
+    def _record_entities(self, token: Text, raw: str, offset: int) -> None:
+        # The fast path builds Text tokens with the shared NO_ENTITIES
+        # sentinel; swap in a private list before recording anything.
+        ents = token.entities
+        if ents is NO_ENTITIES:
+            ents = token.entities = []
+        for name, ent_offset, known, terminated in entities.find_references(raw):
+            ent_line, ent_column = self._line_col(offset + ent_offset)
+            ents.append((name, ent_line, ent_column, known, terminated))
             if not known:
                 token.add_issue(LexicalIssue.UNKNOWN_ENTITY)
             if not terminated:
@@ -161,9 +398,11 @@ class Tokenizer:
     # -- dispatch on '<' ------------------------------------------------------
 
     def _scan_angle(self) -> None:
-        nxt = self._peek(1)
+        pos = self.pos
+        source = self.source
+        nxt = source[pos + 1] if pos + 1 < self.length else ""
         if nxt == "!":
-            if self.source.startswith("<!--", self.pos):
+            if source.startswith("<!--", pos):
                 self._scan_comment()
             else:
                 self._scan_declaration()
@@ -173,45 +412,41 @@ class Tokenizer:
             self._scan_end_tag()
         elif nxt in _NAME_START:
             self._scan_start_tag(leading_ws=False)
-        elif nxt in _WHITESPACE and self._lookahead_tag_after_ws():
+        elif nxt in _WHITESPACE and _WS_THEN_NAME_RE.match(source, pos + 1):
+            # "<   name" -- a tag with leading whitespace.
             self._scan_start_tag(leading_ws=True)
         elif nxt == ">":
             # "<>" -- an empty tag; classic weblint reports it.
-            start, line, column = self._mark()
-            self._advance(2)
+            line, column = self._line_col(pos)
+            self.pos = pos + 2
             token = Text(line=line, column=column, raw="<>", text="<>")
             token.add_issue(LexicalIssue.EMPTY_TAG)
             self._tokens.append(token)
         else:
             # A '<' that cannot start markup: literal metacharacter.
-            start, line, column = self._mark()
-            self._advance(1)
+            line, column = self._line_col(pos)
+            self.pos = pos + 1
             token = Text(line=line, column=column, raw="<", text="<")
             token.add_issue(LexicalIssue.BARE_LT_IN_TEXT)
             self._tokens.append(token)
 
-    def _lookahead_tag_after_ws(self) -> bool:
-        """True if ``<   name`` follows -- tag with leading whitespace."""
-        index = self.pos + 1
-        while index < self.length and self.source[index] in _WHITESPACE:
-            index += 1
-        return index < self.length and self.source[index] in _NAME_START
-
     # -- comments, declarations, PIs -----------------------------------------
 
     def _scan_comment(self) -> None:
-        start, line, column = self._mark()
-        end = self.source.find("-->", self.pos + 4)
+        start = self.pos
+        line, column = self._line_col(start)
+        end = self.source.find("-->", start + 4)
         if end == -1:
-            body = self.source[self.pos + 4 :]
-            self._advance(self.length - self.pos)
+            body = self.source[start + 4 :]
+            self.pos = self.length
             token = Comment(line=line, column=column, raw=self.source[start:], text=body)
             token.add_issue(LexicalIssue.UNTERMINATED_COMMENT)
         else:
-            body = self.source[self.pos + 4 : end]
-            self._advance(end + 3 - self.pos)
-            raw = self.source[start : self.pos]
-            token = Comment(line=line, column=column, raw=raw, text=body)
+            body = self.source[start + 4 : end]
+            self.pos = end + 3
+            token = Comment(
+                line=line, column=column, raw=self.source[start : self.pos], text=body
+            )
         if "<!--" in body:
             token.add_issue(LexicalIssue.NESTED_COMMENT)
         if _looks_like_markup(body):
@@ -219,17 +454,17 @@ class Tokenizer:
         self._tokens.append(token)
 
     def _scan_declaration(self) -> None:
-        start, line, column = self._mark()
-        end = self.source.find(">", self.pos)
-        if end == -1:
+        start = self.pos
+        line, column = self._line_col(start)
+        end = self.source.find(">", start)
+        unterminated = end == -1
+        if unterminated:
             end = self.length
-            unterminated = True
-        else:
-            unterminated = False
-        body = self.source[self.pos + 2 : end]
-        self._advance(min(end + 1, self.length) - self.pos)
-        raw = self.source[start : self.pos]
-        token = Declaration(line=line, column=column, raw=raw, text=body)
+        body = self.source[start + 2 : end]
+        self.pos = min(end + 1, self.length)
+        token = Declaration(
+            line=line, column=column, raw=self.source[start : self.pos], text=body
+        )
         if unterminated:
             token.add_issue(LexicalIssue.UNCLOSED_TAG)
         if not body.strip():
@@ -237,37 +472,39 @@ class Tokenizer:
         self._tokens.append(token)
 
     def _scan_pi(self) -> None:
-        start, line, column = self._mark()
-        end = self.source.find(">", self.pos)
+        start = self.pos
+        line, column = self._line_col(start)
+        end = self.source.find(">", start)
         if end == -1:
             end = self.length
-        body = self.source[self.pos + 2 : end]
-        self._advance(min(end + 1, self.length) - self.pos)
-        raw = self.source[start : self.pos]
+        body = self.source[start + 2 : end]
+        self.pos = min(end + 1, self.length)
         self._tokens.append(
-            ProcessingInstruction(line=line, column=column, raw=raw, text=body)
+            ProcessingInstruction(
+                line=line, column=column, raw=self.source[start : self.pos], text=body
+            )
         )
 
     # -- end tags ---------------------------------------------------------------
 
     def _scan_end_tag(self) -> None:
-        start, line, column = self._mark()
-        self._advance(2)  # '</'
+        start = self.pos
+        line, column = self._line_col(start)
+        self.pos = start + 2  # '</'
         name = self._scan_name()
         issues: list[LexicalIssue] = []
         # Skip anything up to '>', noting attribute-like junk.
-        junk_start = self.pos
         end = self.source.find(">", self.pos)
         if end == -1:
-            self._advance(self.length - self.pos)
+            self.pos = self.length
             issues.append(LexicalIssue.UNCLOSED_TAG)
         else:
-            junk = self.source[junk_start:end]
-            if junk.strip():
+            if self.source[self.pos : end].strip():
                 issues.append(LexicalIssue.ATTRIBUTES_IN_END_TAG)
-            self._advance(end + 1 - self.pos)
-        raw = self.source[start : self.pos]
-        token = EndTag(line=line, column=column, raw=raw, name=name)
+            self.pos = end + 1
+        token = EndTag(
+            line=line, column=column, raw=self.source[start : self.pos], name=name
+        )
         for issue in issues:
             token.add_issue(issue)
         self._tokens.append(token)
@@ -275,8 +512,9 @@ class Tokenizer:
     # -- start tags ---------------------------------------------------------------
 
     def _scan_start_tag(self, leading_ws: bool) -> None:
-        start, line, column = self._mark()
-        self._advance(1)  # '<'
+        start = self.pos
+        line, column = self._line_col(start)
+        self.pos = start + 1  # '<'
         if leading_ws:
             self._skip_whitespace()
         name = self._scan_name()
@@ -290,14 +528,12 @@ class Tokenizer:
             self._scan_raw_text(token.lowered)
 
     def _skip_whitespace(self) -> None:
-        while self.pos < self.length and self.source[self.pos] in _WHITESPACE:
-            self._advance(1)
+        self.pos = _WS_RE.match(self.source, self.pos).end()
 
     def _scan_name(self) -> str:
-        start = self.pos
-        while self.pos < self.length and self.source[self.pos] in _NAME_CHARS:
-            self._advance(1)
-        return self.source[start : self.pos]
+        match = _NAME_CHARS_RE.match(self.source, self.pos)
+        self.pos = match.end()
+        return match.group()
 
     def _scan_attributes(self, token: StartTag) -> None:
         """Parse attributes until '>' or recovery point.
@@ -305,18 +541,21 @@ class Tokenizer:
         Implements the odd-quote recovery heuristic described in the
         module docstring.
         """
+        source = self.source
+        length = self.length
         while True:
             self._skip_whitespace()
-            if self.pos >= self.length:
+            pos = self.pos
+            if pos >= length:
                 token.add_issue(LexicalIssue.UNCLOSED_TAG)
                 return
-            char = self.source[self.pos]
+            char = source[pos]
             if char == ">":
-                self._advance(1)
+                self.pos = pos + 1
                 return
-            if char == "/" and self._peek(1) == ">":
+            if char == "/" and source[pos + 1 : pos + 2] == ">":
                 token.self_closing = True
-                self._advance(2)
+                self.pos = pos + 2
                 return
             if char == "<":
                 # New tag starting before this one closed.
@@ -326,83 +565,78 @@ class Tokenizer:
                 self._scan_one_attribute(token)
             else:
                 # Junk character inside a tag; skip it rather than loop.
-                self._advance(1)
+                self.pos = pos + 1
 
     def _scan_one_attribute(self, token: StartTag) -> None:
-        attr_line, attr_column = self.line, self.column
+        attr_line, attr_column = self._line_col(self.pos)
         name = self._scan_name()
         self._skip_whitespace()
         attr = Attribute(name=name, line=attr_line, column=attr_column)
-        if self._peek() == "=":
-            self._advance(1)
+        if self.pos < self.length and self.source[self.pos] == "=":
+            self.pos += 1
             self._skip_whitespace()
             attr.has_value = True
             self._scan_attribute_value(token, attr)
         token.attributes.append(attr)
 
     def _scan_attribute_value(self, token: StartTag, attr: Attribute) -> None:
-        char = self._peek()
+        pos = self.pos
+        source = self.source
+        char = source[pos] if pos < self.length else ""
         if char in ('"', "'"):
             attr.quote = char
             if char == "'":
                 token.add_issue(LexicalIssue.SINGLE_QUOTED_VALUE)
-            close = self.source.find(char, self.pos + 1)
-            next_lt = self.source.find("<", self.pos + 1)
+            close = source.find(char, pos + 1)
+            next_lt = source.find("<", pos + 1)
             if close != -1 and (next_lt == -1 or close < next_lt):
                 # Well-formed quoted value (may legitimately contain '>').
-                attr.value = self.source[self.pos + 1 : close]
-                self._advance(close + 1 - self.pos)
+                attr.value = source[pos + 1 : close]
+                self.pos = close + 1
                 return
             # Recovery: closing quote missing before next tag. Treat the
             # value as ending at the first '>' (or the '<').
             token.add_issue(LexicalIssue.ODD_QUOTES)
             stop_candidates = [
                 index
-                for index in (self.source.find(">", self.pos + 1), next_lt)
+                for index in (source.find(">", pos + 1), next_lt)
                 if index != -1
             ]
             stop = min(stop_candidates) if stop_candidates else self.length
-            attr.value = self.source[self.pos + 1 : stop]
-            self._advance(stop - self.pos)
+            attr.value = source[pos + 1 : stop]
+            self.pos = stop
             return
-        # Unquoted value: scan to whitespace or '>'.
+        # Unquoted value: scan to whitespace or '>' (or '<').
         token.add_issue(LexicalIssue.UNQUOTED_VALUE)
-        start = self.pos
-        while (
-            self.pos < self.length
-            and self.source[self.pos] not in _WHITESPACE
-            and self.source[self.pos] not in (">", "<")
-        ):
-            self._advance(1)
-        attr.value = self.source[start : self.pos]
+        match = _UNQUOTED_VALUE_RE.match(source, pos)
+        attr.value = match.group()
+        self.pos = match.end()
 
     # -- raw text (SCRIPT/STYLE/...) ---------------------------------------------
 
     def _scan_raw_text(self, element: str) -> None:
         """Consume raw content up to ``</element`` without tokenizing it."""
-        start, line, column = self._mark()
-        lower = self.source.lower()
-        needle = "</" + element
-        index = lower.find(needle, self.pos)
+        start = self.pos
+        lower = self._lower
+        if lower is None:
+            lower = self._lower = self.source.lower()
+        index = lower.find("</" + element, start)
         if index == -1:
             index = self.length
-        self._advance(index - self.pos)
-        raw = self.source[start : self.pos]
+        self.pos = index
+        raw = self.source[start:index]
         if raw:
-            token = Text(line=line, column=column, raw=raw, text=raw)
-            self._tokens.append(token)
+            line, column = self._line_col(start)
+            self._tokens.append(Text(line=line, column=column, raw=raw, text=raw))
 
 
 def _looks_like_markup(comment_body: str) -> bool:
-    """Heuristic: does a comment body contain commented-out markup?"""
-    body = comment_body
-    for index, char in enumerate(body):
-        if char != "<":
-            continue
-        nxt = body[index + 1 : index + 2]
-        if nxt and (nxt in _NAME_START or nxt == "/"):
-            return True
-    return False
+    """Heuristic: does a comment body contain commented-out markup?
+
+    One regex search for ``<`` followed by a name-start letter or ``/``,
+    replacing the naive scanner's per-character loop.
+    """
+    return _MARKUP_IN_COMMENT_RE.search(comment_body) is not None
 
 
 def tokenize(source: str) -> list[Token]:

@@ -7,11 +7,20 @@ parser, weblint's tokens deliberately preserve *lexical* details -- quote
 characters, missing quotes, whitespace oddities -- because many of its
 warnings are about exactly those details.
 
-Tokens are plain frozen-ish dataclasses.  They carry their source position
-(1-based line and column, like traditional lint output) and a list of
-:class:`LexicalIssue` flags raised by the tokenizer itself; the rule engine
-turns those flags into user-facing messages so that message wording and
-configuration live in one place.
+Tokens are plain frozen-ish dataclasses, compiled with ``__slots__``:
+the tokenizer is the hottest allocation site in the whole pipeline (one
+object per tag/text run, across every document of a site audit), and
+slotted instances cut both the per-token memory (no ``__dict__``) and
+the attribute-access cost the engine's dispatch loop pays on every
+token.  The field layout is part of the tokenizer's public contract --
+the golden equivalence test compares every field across scanner
+implementations -- so adding a field is fine, renaming one is not.
+
+Tokens carry their source position (1-based line and column, like
+traditional lint output) and a list of :class:`LexicalIssue` flags raised
+by the tokenizer itself; the rule engine turns those flags into
+user-facing messages so that message wording and configuration live in
+one place.
 """
 
 from __future__ import annotations
@@ -61,7 +70,17 @@ class LexicalIssue(enum.Enum):
     ATTRIBUTES_IN_END_TAG = "attributes-in-end-tag"
 
 
-@dataclass
+# Shared empty-list sentinels for the tokenizer's fast paths.  A token
+# built with one of these must never have the list mutated in place:
+# ``Token.add_issue`` swaps NO_ISSUES for a fresh list on first write,
+# and the tokenizer replaces NO_ENTITIES before recording references.
+# Because they stay empty, they compare equal to a fresh ``[]``, so
+# token equality (and the golden equivalence harness) is unaffected.
+NO_ISSUES: list["LexicalIssue"] = []
+NO_ENTITIES: list[tuple[str, int, int, bool, bool]] = []
+
+
+@dataclass(slots=True)
 class Attribute:
     """A single ``name[=value]`` pair inside a start tag.
 
@@ -89,26 +108,38 @@ class Attribute:
         return f"Attribute({self.name}={q}{self.value}{q})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
-    """Base class for all tokens."""
+    """Base class for all tokens.
+
+    ``kind`` is a plain class attribute on each subclass, not a field:
+    it is constant per class, so storing it per instance would waste a
+    slot and a ``__post_init__`` call on every token the scanner
+    allocates.  Equality is unaffected -- dataclass ``__eq__`` already
+    requires identical classes, which implies identical kinds.
+    """
 
     line: int
     column: int
     raw: str
     issues: list[LexicalIssue] = field(default_factory=list)
 
-    kind: TokenKind = field(init=False, repr=False)
-
     def add_issue(self, issue: LexicalIssue) -> None:
-        if issue not in self.issues:
-            self.issues.append(issue)
+        # Copy-on-write: the tokenizer's fast paths construct issue-free
+        # tokens with the shared NO_ISSUES sentinel to skip a list
+        # allocation per token; the first real issue replaces it.  All
+        # issue mutation must go through this method.
+        issues = self.issues
+        if issues is NO_ISSUES:
+            self.issues = [issue]
+        elif issue not in issues:
+            issues.append(issue)
 
     def has_issue(self, issue: LexicalIssue) -> bool:
         return issue in self.issues
 
 
-@dataclass
+@dataclass(slots=True)
 class StartTag(Token):
     """``<NAME attr=value ...>`` -- possibly self-closing (XHTML style)."""
 
@@ -116,8 +147,7 @@ class StartTag(Token):
     attributes: list[Attribute] = field(default_factory=list)
     self_closing: bool = False
 
-    def __post_init__(self) -> None:
-        self.kind = TokenKind.START_TAG
+    kind = TokenKind.START_TAG
 
     @property
     def lowered(self) -> str:
@@ -149,21 +179,20 @@ class StartTag(Token):
         return dupes
 
 
-@dataclass
+@dataclass(slots=True)
 class EndTag(Token):
     """``</NAME>``."""
 
     name: str = ""
 
-    def __post_init__(self) -> None:
-        self.kind = TokenKind.END_TAG
+    kind = TokenKind.END_TAG
 
     @property
     def lowered(self) -> str:
         return self.name.lower()
 
 
-@dataclass
+@dataclass(slots=True)
 class Text(Token):
     """A run of character data between tags.
 
@@ -175,15 +204,14 @@ class Text(Token):
     text: str = ""
     entities: list[tuple[str, int, int, bool, bool]] = field(default_factory=list)
 
-    def __post_init__(self) -> None:
-        self.kind = TokenKind.TEXT
+    kind = TokenKind.TEXT
 
     @property
     def is_whitespace(self) -> bool:
         return not self.text.strip()
 
 
-@dataclass
+@dataclass(slots=True)
 class Comment(Token):
     """``<!-- ... -->``.
 
@@ -193,32 +221,29 @@ class Comment(Token):
 
     text: str = ""
 
-    def __post_init__(self) -> None:
-        self.kind = TokenKind.COMMENT
+    kind = TokenKind.COMMENT
 
 
-@dataclass
+@dataclass(slots=True)
 class Declaration(Token):
     """``<!DOCTYPE ...>`` and other ``<!...>`` declarations."""
 
     text: str = ""
 
-    def __post_init__(self) -> None:
-        self.kind = TokenKind.DECLARATION
+    kind = TokenKind.DECLARATION
 
     @property
     def is_doctype(self) -> bool:
         return self.text.lstrip().lower().startswith("doctype")
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessingInstruction(Token):
     """``<? ... >`` -- rare in HTML, but the tokenizer must not choke."""
 
     text: str = ""
 
-    def __post_init__(self) -> None:
-        self.kind = TokenKind.PI
+    kind = TokenKind.PI
 
 
 def iter_tags(tokens: Iterator[Token]) -> Iterator[Token]:

@@ -75,6 +75,12 @@ PORTABLE_DIRECTIONS = {
     # may start bouncing off the admission gate.
     "requests": "exact",
     "rejected": "lower",
+    # Tokenizer hot-path gate (BENCH_tokenizer.json): the E10 corpus is
+    # seeded, so the token and byte counts the batched scanner produces
+    # are machine-independent -- any drift means the scanner changed
+    # what it emits, not just how fast.
+    "tokens": "exact",
+    "corpus_bytes": "exact",
 }
 
 

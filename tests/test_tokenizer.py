@@ -323,3 +323,145 @@ class TestTokenizerReuse:
     def test_whitespace_text_is_whitespace(self):
         tokens = tokenize("<p>  \n  </p>")
         assert tokens[1].is_whitespace
+
+class TestLineEndingEdgeCases:
+    """CRLF and lone-CR handling: only ``\\n`` advances the line counter.
+
+    The seed scanner counted lines by scanning for ``\\n``; the batched
+    scanner precomputes a newline index and must agree exactly, CR or
+    no CR.
+    """
+
+    def test_crlf_counts_one_line_per_pair(self):
+        tokens = tokenize("one\r\ntwo\r\n<p>")
+        assert tokens[-1].line == 3
+        assert tokens[-1].column == 1
+
+    def test_lone_cr_does_not_advance_line(self):
+        tokens = tokenize("one\rtwo\rthree<p>")
+        assert tokens[-1].line == 1
+        # The CRs still occupy columns on the single logical line.
+        assert tokens[-1].column == len("one\rtwo\rthree") + 1
+
+    def test_mixed_endings(self):
+        # \n advances, \r does not: "a\r\nb\rc\nd" is 3 lines.
+        tokens = tokenize("a\r\nb\rc\n<p>d</p>")
+        assert tokens[1].line == 3
+
+    def test_crlf_inside_tag_positions_attributes(self):
+        (tag,) = tokenize('<a\r\nhref="x">')
+        attr = tag.attributes[0]
+        assert (attr.line, attr.column) == (2, 1)
+
+
+class TestUnterminatedAttributeAtEOF:
+    def test_open_quote_runs_to_eof(self):
+        (tag,) = tokenize('<a href="no closing quote')
+        assert tag.has_issue(LexicalIssue.UNCLOSED_TAG)
+        assert tag.has_issue(LexicalIssue.ODD_QUOTES)
+        assert tag.attributes[0].value == "no closing quote"
+
+    def test_equals_then_eof(self):
+        (tag,) = tokenize("<a href=")
+        assert tag.has_issue(LexicalIssue.UNCLOSED_TAG)
+        assert tag.has_issue(LexicalIssue.UNQUOTED_VALUE)
+        attr = tag.attributes[0]
+        assert attr.has_value and attr.value == ""
+
+    def test_unquoted_value_then_eof(self):
+        (tag,) = tokenize("<img src=pic.gif")
+        assert tag.has_issue(LexicalIssue.UNCLOSED_TAG)
+        assert tag.attributes[0].value == "pic.gif"
+
+
+class TestEntityFastPathBoundary:
+    """Entity scanning is skipped for ``&``-free text runs; these pin
+    the boundary cases where an ``&`` sits at the edge of a run."""
+
+    def test_ampersand_last_char_of_document(self):
+        (token,) = tokenize("tail&")
+        assert token.entities == []
+        assert not token.issues
+
+    def test_entity_truncated_by_tag(self):
+        # "&am" is cut off by the next tag: unterminated + unknown.
+        tokens = tokenize("x &am<p>")
+        text = tokens[0]
+        assert text.has_issue(LexicalIssue.UNTERMINATED_ENTITY)
+        assert text.entities[0][0] == "am"
+
+    def test_entity_at_run_start_after_tag(self):
+        tokens = tokenize("<p>&copy; y</p>")
+        assert tokens[1].entities[0][0] == "copy"
+        assert tokens[1].entities[0][1:3] == (1, 4)
+
+    def test_ampersand_mid_word_is_an_entity_attempt(self):
+        # "&T" reads as an (unknown, unterminated) entity reference --
+        # exactly what the paper's weblint warned about in "AT&T".
+        (token,) = tokenize("AT&T")
+        assert token.entities[0][0] == "T"
+        assert token.has_issue(LexicalIssue.UNKNOWN_ENTITY)
+        assert token.has_issue(LexicalIssue.UNTERMINATED_ENTITY)
+
+    def test_amp_free_run_records_nothing(self):
+        (token,) = tokenize("no entities here at all")
+        assert token.entities == []
+
+
+class TestRawTextCloseTagLookalikes:
+    def test_close_tag_suffix_lookalike_still_closes(self):
+        # The scanner matches the "</script" *prefix*, so "</scripty>"
+        # terminates the raw-text run too -- a deliberate quirk both
+        # scanners share (the end-tag parse then reads the full name).
+        tokens = tokenize("<script>x</scripty>y</script>")
+        assert tokens[1].text == "x"
+        assert tokens[2].name == "scripty"
+
+    def test_close_tag_prefix_match_closes(self):
+        # The scanner matches the "</script" prefix, so attributes or
+        # junk before ">" still terminate the raw-text run.
+        tokens = tokenize("<script>x</script foo>")
+        assert tokens[1].text == "x"
+        assert tokens[2].kind is TokenKind.END_TAG
+
+    def test_other_close_tag_inside_script_ignored(self):
+        tokens = tokenize("<script>a</style>b</script>")
+        assert tokens[1].text == "a</style>b"
+
+    def test_all_raw_text_elements_guarded(self):
+        for name in RAW_TEXT_ELEMENTS:
+            tokens = tokenize(f"<{name}><b>not a tag</b></{name}>")
+            assert tokens[1].kind is TokenKind.TEXT
+            assert tokens[1].text == "<b>not a tag</b>"
+
+
+class TestColumnTrackingLinearity:
+    """Regression guard for the seed's O(n^2) column tracking.
+
+    ``_advance`` recomputed the column by rfind-ing the last newline on
+    every call, so a long single-line document went quadratic.  The
+    batched scanner derives positions from the newline index; tokenizing
+    k times more tokens on one line must cost ~k times more, not k^2.
+    """
+
+    @staticmethod
+    def _per_token(n_tokens: int) -> float:
+        import time
+
+        source = "<b>x</b>" * n_tokens
+        start = time.perf_counter()
+        tokens = Tokenizer(source).tokenize()
+        elapsed = time.perf_counter() - start
+        assert len(tokens) == 3 * n_tokens
+        assert tokens[-1].line == 1
+        return elapsed / len(tokens)
+
+    def test_single_line_document_scales_linearly(self):
+        small = min(self._per_token(200) for _ in range(3))
+        large = min(self._per_token(4000) for _ in range(3))
+        # Quadratic tracking would make the 20x document ~20x more
+        # expensive per token; allow generous noise for CI runners.
+        assert large < small * 5, (
+            f"per-token cost grew {large / small:.1f}x on a 20x "
+            f"single-line document -- column tracking looks quadratic"
+        )
